@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure table into benchmarks/results/.
+figures:
+	$(PYTHON) -m pytest benchmarks/bench_fig2_gse_size.py \
+	    benchmarks/bench_fig3_grover.py benchmarks/bench_fig4_bwt.py \
+	    benchmarks/bench_fig5_gse.py --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+	    echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,41 @@
+"""Clifford+T budget ablation on GSE (the mechanism behind Fig. 5).
+
+Sweeps the word-search budget of the rotation approximation and
+reports, per budget: compiled gate/T counts, the overlap of the
+compiled circuit with the ideal rotations, the peak integer bit-width
+and the algebraic simulation time.  Report in
+``benchmarks/results/approx_budget.txt``.
+"""
+
+import pytest
+
+from repro.evalsuite.budget import approximation_budget_sweep
+from repro.evalsuite.reporting import format_table
+
+
+def test_budget_sweep(benchmark, artifact_writer):
+    rows = benchmark.pedantic(
+        lambda: approximation_budget_sweep(
+            num_sites=2, precision_bits=2, budgets=(500, 2000, 8000)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["max_words", "gates", "t_count", "overlap", "max_bits", "alg_sec"],
+        [
+            [
+                row.max_words,
+                row.gate_count,
+                row.t_count,
+                round(row.overlap_with_ideal, 4),
+                row.max_bit_width,
+                round(row.algebraic_seconds, 3),
+            ]
+            for row in rows
+        ],
+    )
+    report = "Clifford+T budget vs algebraic GSE overhead\n\n" + table
+    print("\n" + report)
+    artifact_writer("approx_budget.txt", report)
+    assert all(row.max_bit_width > 8 for row in rows)

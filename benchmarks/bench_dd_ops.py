@@ -1,0 +1,78 @@
+"""Micro-benchmarks: decision-diagram primitives per number system.
+
+Times one gate application (matrix-vector multiplication), DD addition,
+gate-DD construction and node normalisation under each representation,
+on states arising mid-way through a Grover run.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.gatebuild import build_gate_dd
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.sim.simulator import Simulator
+
+N = 6
+FACTORIES = {
+    "numeric-eps0": lambda: numeric_manager(N, eps=0.0),
+    "numeric-eps1e-10": lambda: numeric_manager(N, eps=1e-10),
+    "algebraic-q": lambda: algebraic_manager(N),
+    "algebraic-gcd": lambda: algebraic_gcd_manager(N),
+}
+
+
+def midway_state(manager):
+    """A representative mid-Grover state under the given manager."""
+    circuit = grover_circuit(N, 13, iterations=2)
+    simulator = Simulator(manager)
+    return simulator, simulator.run(circuit).state
+
+
+@pytest.mark.parametrize("kind", list(FACTORIES))
+class TestPerSystem:
+    def test_mat_vec(self, benchmark, kind):
+        manager = FACTORIES[kind]()
+        simulator, state = midway_state(manager)
+        diffusion_gate = simulator.gate_dd(grover_circuit(N, 13)[len(grover_circuit(N, 13)) - 1])
+        manager.clear_caches()
+        benchmark(manager.mat_vec, diffusion_gate, state)
+
+    def test_add(self, benchmark, kind):
+        manager = FACTORIES[kind]()
+        _, state = midway_state(manager)
+        other = manager.basis_state(13)
+        manager.clear_caches()
+        benchmark(manager.add, state, other)
+
+    def test_gate_build_mcz(self, benchmark, kind):
+        manager = FACTORIES[kind]()
+        from repro.circuits.gates import Z
+
+        entries = tuple(
+            manager.system.from_domega(entry) for entry in Z.exact
+        )
+        benchmark(
+            build_gate_dd, manager, entries, N - 1, list(range(N - 1))
+        )
+
+    def test_normalize_node(self, benchmark, kind):
+        manager = FACTORIES[kind]()
+        from repro.rings.domega import DOmega
+
+        weights = tuple(
+            manager.system.from_domega(DOmega.from_coefficients(a, b, c, d, k=2))
+            for a, b, c, d in ((1, 0, 2, 1), (0, 3, -1, 2), (2, 2, 0, -1), (1, -1, 1, 1))
+        )
+        benchmark(manager.system.normalize, weights)
+
+
+class TestWholeCircuit:
+    @pytest.mark.parametrize("kind", list(FACTORIES))
+    def test_grover_simulation(self, benchmark, kind):
+        circuit = grover_circuit(N, 13)
+
+        def run():
+            manager = FACTORIES[kind]()
+            return Simulator(manager).run(circuit).node_count
+
+        benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Verification benchmark (paper Section V-B).
+
+Times DD-based equivalence checking of a circuit against an optimised
+rewriting of itself -- the design task where the paper argues exactness
+matters most: the final verdict is an O(1) root comparison, exact under
+the algebraic representation.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.verify.equivalence import check_equivalence, check_state_equivalence
+
+N = 5
+
+
+def rewritten_grover():
+    """Grover with every CZ-style core rewritten via H-conjugated MCX."""
+    original = grover_circuit(N, 11)
+    rewritten = Circuit(N, name="grover_rewritten")
+    for operation in original:
+        if operation.gate.name == "z" and operation.controls:
+            target = operation.target
+            rewritten.h(target)
+            rewritten.mcx(operation.controls, target)
+            rewritten.h(target)
+        else:
+            rewritten.operations.append(operation)
+    return original, rewritten
+
+
+@pytest.mark.parametrize("system", ["algebraic", "numeric-eps1e-10"])
+def test_unitary_equivalence(benchmark, system):
+    original, rewritten = rewritten_grover()
+    manager = (
+        algebraic_manager(N) if system == "algebraic" else numeric_manager(N, eps=1e-10)
+    )
+
+    def check():
+        return check_equivalence(original, rewritten, manager=manager)
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert result.equivalent
+
+
+def test_state_equivalence_algebraic(benchmark):
+    original, rewritten = rewritten_grover()
+
+    def check():
+        return check_state_equivalence(original, rewritten)
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert result.equivalent
+
+
+def test_inequivalence_detected(benchmark):
+    original, rewritten = rewritten_grover()
+    rewritten.t(0)  # inject a fault
+
+    def check():
+        return check_equivalence(original, rewritten)
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not result.equivalent

@@ -1,0 +1,45 @@
+"""Paper Fig. 2: QMDD size while simulating GSE, per tolerance value.
+
+The motivating example of Section III: ``eps = 0`` keeps maximum float
+precision but a large DD; ``eps = 1e-3`` collapses the state to the
+zero vector ("a perfectly compact but obviously wrong representation");
+intermediate values trade between the two.  Report written to
+``benchmarks/results/fig2_gse_size.txt``.
+"""
+
+import pytest
+
+from repro.evalsuite.experiments import fig2_gse_size
+from repro.evalsuite.reporting import render_series, render_summary
+
+SITES, BITS, WORDS = 2, 3, 4000
+
+
+def test_fig2_report(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        lambda: fig2_gse_size(num_sites=SITES, precision_bits=BITS, max_words=WORDS),
+        rounds=1,
+        iterations=1,
+    )
+    sections = [
+        render_summary(result),
+        render_series(result, "nodes", samples=14),
+    ]
+    report = "\n\n".join(sections)
+    print("\n" + report)
+    artifact_writer("fig2_gse_size.txt", report)
+    # The two extreme cases the paper highlights in bold:
+    eps0_peak = result.traces["eps=0"].peak_node_count
+    algebraic_peak = result.traces["algebraic"].peak_node_count
+    assert algebraic_peak <= eps0_peak
+    # The coarsest tolerance destroys the result: a zero-vector
+    # collapse (the paper's 15+-qubit observation) or an error many
+    # orders of magnitude beyond the achievable floating-point accuracy
+    # (the scale-independent form of "obviously wrong").
+    coarse_errors = [e for e in result.traces["eps=0.001"].errors() if e is not None]
+    fine_errors = [e for e in result.traces["eps=0"].errors() if e is not None]
+    corrupted = (
+        result.final_zero["eps=0.001"]
+        or coarse_errors[-1] > max(1e8 * max(fine_errors[-1], 1e-16), 1e-3)
+    )
+    assert corrupted

@@ -1,0 +1,93 @@
+"""Paper Fig. 3: Grover's algorithm -- size (a), accuracy (b), run-time (c).
+
+One timed simulation per representation/tolerance (the run-time panel as
+pytest-benchmark rows) plus a report benchmark regenerating all three
+per-gate series of the figure, printed and written to
+``benchmarks/results/fig3_grover.txt``.
+
+Paper shape targets (Section V-A, 15-qubit Grover; here scaled down --
+see DESIGN.md Section 3):
+
+* eps = 0 / 1e-20: exponential node growth, largest run-time;
+* eps = 1e-15 / 1e-10: compact and accurate;
+* eps = 1e-5 / 1e-3: corrupted results (error O(1));
+* algebraic: as compact as the best numeric, exact, ~constant-factor
+  run-time overhead over the redundancy-exploiting numeric runs.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.evalsuite.experiments import fig3_grover, shape_checks
+from repro.evalsuite.reporting import render_series, render_summary
+from repro.sim.simulator import Simulator
+
+N = 7
+MARKED = (1 << N) * 2 // 3
+CONFIGS = {
+    "eps=0": lambda n: numeric_manager(n, eps=0.0),
+    "eps=1e-20": lambda n: numeric_manager(n, eps=1e-20),
+    "eps=1e-15": lambda n: numeric_manager(n, eps=1e-15),
+    "eps=1e-10": lambda n: numeric_manager(n, eps=1e-10),
+    "eps=1e-5": lambda n: numeric_manager(n, eps=1e-5),
+    "eps=1e-3": lambda n: numeric_manager(n, eps=1e-3),
+    "algebraic": algebraic_manager,
+    "algebraic-gcd": algebraic_gcd_manager,
+}
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return grover_circuit(N, MARKED)
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_fig3c_runtime(benchmark, circuit, config):
+    """Fig. 3c: one simulation per representation (run-time panel)."""
+
+    def run():
+        manager = CONFIGS[config](N)
+        return Simulator(manager).run(circuit).node_count
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig3_series_report(benchmark, artifact_writer):
+    """Regenerate all three Fig. 3 panels and check the paper's shapes."""
+    result = benchmark.pedantic(
+        lambda: fig3_grover(num_qubits=N), rounds=1, iterations=1
+    )
+    sections = [
+        render_summary(result),
+        render_series(result, "nodes", samples=12),
+        render_series(result, "error", samples=12),
+        render_series(result, "seconds", samples=12),
+    ]
+    checks = shape_checks(result)
+    sections.append(
+        "shape checks: "
+        + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
+    )
+    # Fig. 3b also shows instability *peaks* for moderate eps; report the
+    # peak statistics per numeric configuration.
+    from repro.evalsuite.instability import analyze_error_series
+
+    peak_lines = ["error-peak analysis (Fig. 3b 'peaks ... indicate instability'):"]
+    for config in result.configurations():
+        if not config.startswith("eps="):
+            continue
+        analysis = analyze_error_series(result.error_series(config))
+        peak_lines.append(
+            f"  {config}: median={analysis.median_error:.2e} "
+            f"max={analysis.max_error:.2e} peaks={analysis.num_peaks} "
+            f"worst_factor={analysis.peak_factor:.1f}"
+        )
+    sections.append("\n".join(peak_lines))
+    report = "\n\n".join(sections)
+    print("\n" + report)
+    artifact_writer("fig3_grover.txt", report)
+    assert checks["high_accuracy_is_largest"]
+    assert checks["algebraic_not_larger_than_eps0"]
+    assert checks["large_eps_corrupts"]
+    assert checks["algebraic_exact"]

@@ -1,0 +1,65 @@
+"""Paper Fig. 4: the Binary Welded Tree walk -- size, accuracy, run-time.
+
+Same structure as the Grover figure: per-representation timed runs plus
+a report benchmark writing the per-gate series to
+``benchmarks/results/fig4_bwt.txt``.  Like the paper's BWT benchmark the
+circuit is entirely Clifford (exactly representable); the expected
+shapes match Fig. 3 (algebraic compact and exact with moderate
+overhead).
+"""
+
+import pytest
+
+from repro.algorithms.bwt import bwt_circuit
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.evalsuite.experiments import fig4_bwt, shape_checks
+from repro.evalsuite.reporting import render_series, render_summary
+from repro.sim.simulator import Simulator
+
+DEPTH, STEPS, SEED = 2, 5, 0
+CONFIGS = {
+    "eps=0": lambda n: numeric_manager(n, eps=0.0),
+    "eps=1e-20": lambda n: numeric_manager(n, eps=1e-20),
+    "eps=1e-10": lambda n: numeric_manager(n, eps=1e-10),
+    "eps=1e-3": lambda n: numeric_manager(n, eps=1e-3),
+    "algebraic": algebraic_manager,
+    "algebraic-gcd": algebraic_gcd_manager,
+}
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return bwt_circuit(depth=DEPTH, steps=STEPS, seed=SEED)
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_fig4c_runtime(benchmark, circuit, config):
+    """Fig. 4c: one simulation per representation."""
+
+    def run():
+        manager = CONFIGS[config](circuit.num_qubits)
+        return Simulator(manager).run(circuit).node_count
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig4_series_report(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        lambda: fig4_bwt(depth=DEPTH, steps=STEPS, seed=SEED), rounds=1, iterations=1
+    )
+    sections = [
+        render_summary(result),
+        render_series(result, "nodes", samples=12),
+        render_series(result, "error", samples=12),
+        render_series(result, "seconds", samples=12),
+    ]
+    checks = shape_checks(result)
+    sections.append(
+        "shape checks: "
+        + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
+    )
+    report = "\n\n".join(sections)
+    print("\n" + report)
+    artifact_writer("fig4_bwt.txt", report)
+    assert checks["algebraic_exact"]
+    assert checks.get("algebraic_not_larger_than_eps0", True)

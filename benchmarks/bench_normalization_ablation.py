@@ -1,0 +1,73 @@
+"""Ablation: normalisation schemes (paper Section V-B, final paragraphs).
+
+Compares Algorithm 2 (Q[omega] inverses) against Algorithm 3 (D[omega]
+GCDs) and the numeric variants on the Grover benchmark, measuring the
+quantities the paper uses to explain why Algorithm 2 wins: run-time,
+fraction of trivial edge weights (>= 1/2 for Q[omega], few for GCD) and
+coefficient bit-widths.  Report in
+``benchmarks/results/normalization_ablation.txt``.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.algorithms.gse import gse_circuit
+from repro.evalsuite.ablation import run_normalization_ablation
+from repro.evalsuite.reporting import format_table
+
+
+def _render(rows, title):
+    return f"{title}\n" + format_table(
+        ["scheme", "seconds", "final_nodes", "peak_nodes", "trivial_frac", "distinct_w", "bits"],
+        [
+            [
+                row.scheme,
+                round(row.seconds, 4),
+                row.final_nodes,
+                row.peak_nodes,
+                round(row.trivial_weight_fraction, 3),
+                row.distinct_weights,
+                row.max_bit_width,
+            ]
+            for row in rows
+        ],
+    )
+
+
+def test_ablation_grover(benchmark, artifact_writer):
+    circuit = grover_circuit(6, 42)
+    rows = benchmark.pedantic(
+        lambda: run_normalization_ablation(circuit, include_gcd=True),
+        rounds=1,
+        iterations=1,
+    )
+    report = _render(rows, f"normalisation ablation on {circuit.name}")
+    print("\n" + report)
+    artifact_writer("normalization_ablation.txt", report)
+    by_scheme = {row.scheme: row for row in rows}
+    q_row = by_scheme["algebraic-q (Alg.2)"]
+    gcd_row = by_scheme["algebraic-gcd (Alg.3)"]
+    # Paper: Q[omega] keeps >= half the weights trivial; GCD fewer.
+    assert q_row.trivial_weight_fraction >= 0.5
+    assert gcd_row.trivial_weight_fraction <= q_row.trivial_weight_fraction
+    # Both exact schemes detect identical redundancies.
+    assert q_row.final_nodes == gcd_row.final_nodes
+
+
+def test_ablation_gse(benchmark, artifact_writer):
+    """The GSE workload, where the paper reports the GCD scheme's
+    disadvantage is most pronounced."""
+    circuit = gse_circuit(num_sites=2, precision_bits=2, max_words=2000)
+    rows = benchmark.pedantic(
+        lambda: run_normalization_ablation(circuit, include_gcd=True),
+        rounds=1,
+        iterations=1,
+    )
+    report = _render(rows, f"normalisation ablation on {circuit.name}")
+    print("\n" + report)
+    artifact_writer("normalization_ablation_gse.txt", report)
+    by_scheme = {row.scheme: row for row in rows}
+    assert (
+        by_scheme["algebraic-q (Alg.2)"].trivial_weight_fraction
+        >= by_scheme["algebraic-gcd (Alg.3)"].trivial_weight_fraction
+    )

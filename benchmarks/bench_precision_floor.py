@@ -1,0 +1,32 @@
+"""Machine-precision error floors (paper Section V-A's closing remark).
+
+Measures the ``eps = 0`` error floor under IEEE-754 binary64 vs
+binary32 against the exact algebraic reference, demonstrating that the
+floor is a property of the machine precision -- the trade-off cannot be
+escaped by re-tuning, only shifted.  Report in
+``benchmarks/results/precision_floor.txt``.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.evalsuite.precision import precision_floor_experiment
+from repro.evalsuite.reporting import format_table
+
+
+def test_precision_floor(benchmark, artifact_writer):
+    circuit = grover_circuit(6, 42)
+    rows = benchmark.pedantic(
+        lambda: precision_floor_experiment(circuit), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["precision", "final_error", "max_error", "peak_nodes"],
+        [[row.precision, row.final_error, row.max_error, row.peak_nodes] for row in rows],
+    )
+    report = f"error floors at eps = 0 on {circuit.name}\n\n{table}"
+    print("\n" + report)
+    artifact_writer("precision_floor.txt", report)
+    by_precision = {row.precision: row for row in rows}
+    assert by_precision["single"].final_error > 1e3 * max(
+        by_precision["double"].final_error, 1e-18
+    )

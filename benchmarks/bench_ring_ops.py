@@ -1,0 +1,65 @@
+"""Micro-benchmarks: exact ring arithmetic vs floating point.
+
+Quantifies the per-operation cost behind the paper's Section V-B
+overhead discussion: D[omega]/Q[omega] multiplication, addition, field
+inversion and Z[omega] GCDs against plain complex doubles.
+"""
+
+import pytest
+
+from repro.rings.domega import DOmega
+from repro.rings.euclid import gcd_zomega
+from repro.rings.qomega import QOmega
+from repro.rings.zomega import ZOmega
+
+A = DOmega.from_coefficients(3, -2, 5, 7, k=4)
+B = DOmega.from_coefficients(-1, 6, 2, -3, k=2)
+QA = QOmega(ZOmega(3, -2, 5, 7), 4, 9)
+QB = QOmega(ZOmega(-1, 6, 2, -3), 2, 5)
+CA = A.to_complex()
+CB = B.to_complex()
+
+# Wide-coefficient variants model the GSE regime (hundreds of bits).
+WIDE_A = DOmega.from_coefficients(3**40, -(2**61), 5**28, 7**23, k=64)
+WIDE_B = DOmega.from_coefficients(-(3**39), 2**60, -(5**27), 7**22, k=32)
+
+
+class TestScalarOps:
+    def test_complex_mul_baseline(self, benchmark):
+        benchmark(lambda: CA * CB)
+
+    def test_domega_mul(self, benchmark):
+        benchmark(lambda: A * B)
+
+    def test_domega_mul_wide_coefficients(self, benchmark):
+        benchmark(lambda: WIDE_A * WIDE_B)
+
+    def test_domega_add(self, benchmark):
+        benchmark(lambda: A + B)
+
+    def test_qomega_mul(self, benchmark):
+        benchmark(lambda: QA * QB)
+
+    def test_qomega_inverse(self, benchmark):
+        benchmark(QA.inverse)
+
+    def test_qomega_add(self, benchmark):
+        benchmark(lambda: QA + QB)
+
+
+class TestStructuralOps:
+    def test_zomega_gcd(self, benchmark):
+        x = ZOmega(12, -8, 20, 28)
+        y = ZOmega(-4, 24, 8, -12)
+        benchmark(gcd_zomega, x, y)
+
+    def test_canonical_associate(self, benchmark):
+        benchmark(A.canonical_associate)
+
+    def test_algorithm1_canonicalisation(self, benchmark):
+        zeta = ZOmega(2, 4, 2, 4).mul_sqrt2().mul_sqrt2()
+        benchmark(DOmega, zeta, 7)
+
+    def test_domega_gcd_of_four(self, benchmark):
+        weights = [A, B, A * B, A + B]
+        benchmark(DOmega.gcd, weights)

@@ -1,0 +1,40 @@
+"""Scalability: DD size vs qubit count (paper conclusion / Section V).
+
+Grover's state vector takes only two distinct values, so the exact DD
+is linear in the qubit count while the ``eps = 0`` numerical DD tracks
+the exponential state space -- the cleanest demonstration that the
+trade-off, not the algebraic overhead, is what limits scalability.
+Report in ``benchmarks/results/scaling.txt``.
+"""
+
+import pytest
+
+from repro.evalsuite.reporting import format_table
+from repro.evalsuite.scaling import grover_scaling
+
+QUBIT_RANGE = (4, 5, 6, 7, 8)
+
+
+def test_grover_scaling(benchmark, artifact_writer):
+    rows = benchmark.pedantic(
+        lambda: grover_scaling(qubit_range=QUBIT_RANGE), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["qubits", "gates", "algebraic_peak", "eps0_peak", "alg_sec", "eps0_sec"],
+        [
+            [
+                row.num_qubits,
+                row.num_gates,
+                row.algebraic_peak,
+                row.eps0_peak,
+                round(row.algebraic_seconds, 3),
+                round(row.eps0_seconds, 3),
+            ]
+            for row in rows
+        ],
+    )
+    report = "Grover peak DD size, exact vs eps=0 floats\n\n" + table
+    print("\n" + report)
+    artifact_writer("scaling.txt", report)
+    assert rows[-1].eps0_peak >= (1 << QUBIT_RANGE[-1]) // 4  # near-exponential
+    assert all(row.algebraic_peak <= 4 * row.num_qubits for row in rows)

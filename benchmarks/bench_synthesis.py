@@ -1,0 +1,63 @@
+"""Exact-synthesis benchmarks (the constructive side of [8]).
+
+Times single-qubit sde-reduction synthesis and multi-qubit two-level
+column reduction, asserting exact ring roundtrips throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.rings.matrix2 import Matrix2
+from repro.synth.exact import synthesize_exact, word_to_matrix
+from repro.synth.multiqubit import exact_unitary_of_circuit, synthesize_unitary
+
+
+def scrambled_matrix(length, seed):
+    rng = random.Random(seed)
+    return word_to_matrix(tuple(rng.choice("ht") for _ in range(length)))
+
+
+def random_clifford_t(num_qubits, gates, seed):
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(gates):
+        kind = rng.randrange(6)
+        qubit = rng.randrange(num_qubits)
+        if kind == 0:
+            circuit.h(qubit)
+        elif kind == 1:
+            circuit.t(qubit)
+        elif kind == 2:
+            circuit.s(qubit)
+        elif kind == 3:
+            circuit.x(qubit)
+        elif kind == 4 and num_qubits > 1:
+            circuit.cx(qubit, (qubit + 1) % num_qubits)
+        else:
+            circuit.z(qubit)
+    return circuit
+
+
+@pytest.mark.parametrize("length", [20, 60, 150])
+def test_single_qubit_synthesis(benchmark, length):
+    target = scrambled_matrix(length, seed=length)
+
+    def run():
+        return synthesize_exact(target)
+
+    result = benchmark(run)
+    assert result.to_matrix() == target
+
+
+@pytest.mark.parametrize("num_qubits,gates", [(2, 40), (3, 40), (4, 30)])
+def test_multi_qubit_synthesis(benchmark, num_qubits, gates):
+    circuit = random_clifford_t(num_qubits, gates, seed=num_qubits)
+    target = exact_unitary_of_circuit(circuit)
+
+    def run():
+        return synthesize_unitary(target, num_qubits)
+
+    synthesised = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert exact_unitary_of_circuit(synthesised) == target

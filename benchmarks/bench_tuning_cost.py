@@ -1,0 +1,58 @@
+"""The hidden cost of tolerance fine-tuning (paper Sections I/III).
+
+Times the engineer's workflow the paper criticises -- scanning tolerance
+values with one full simulation per candidate until accuracy and
+compactness targets are met -- against the single algebraic run that
+needs no tuning at all.  Report in
+``benchmarks/results/tuning_cost.txt``.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import algebraic_manager
+from repro.evalsuite.reporting import format_table
+from repro.evalsuite.tuning import tune_epsilon
+from repro.sim.simulator import Simulator
+
+N = 6
+MARKED = 42
+
+
+def test_tuning_search(benchmark, artifact_writer):
+    circuit = grover_circuit(N, MARKED)
+    report = benchmark.pedantic(
+        lambda: tune_epsilon(circuit, error_target=1e-8), rounds=1, iterations=1
+    )
+    assert report.succeeded
+    rows = [
+        [
+            f"{trial.eps:g}",
+            trial.final_error,
+            trial.peak_nodes,
+            round(trial.seconds, 4),
+            trial.meets_accuracy and trial.meets_compactness,
+        ]
+        for trial in report.trials
+    ]
+    table = format_table(
+        ["eps", "final_error", "peak_nodes", "seconds", "viable"], rows
+    )
+    summary = (
+        f"tolerance tuning on {circuit.name}: {report.num_trials} full "
+        f"simulations, {report.total_seconds:.2f} s total, "
+        f"chosen eps = {report.chosen_eps:g}\n\n{table}"
+    )
+    print("\n" + summary)
+    artifact_writer("tuning_cost.txt", summary)
+
+
+def test_algebraic_needs_no_tuning(benchmark):
+    """The single exact run the tuning loop competes against."""
+    circuit = grover_circuit(N, MARKED)
+
+    def run():
+        return Simulator(algebraic_manager(N)).run(circuit)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.is_zero_state

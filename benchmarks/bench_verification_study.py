@@ -1,0 +1,38 @@
+"""Verification reliability across representations (Section V-B).
+
+Counts equivalence-checking false negatives (missed rewrite
+equivalences at fine eps) and subtle false positives (sub-tolerance
+deviations accepted at coarse eps) against the always-exact algebraic
+checker.  Report in ``benchmarks/results/verification_study.txt``.
+"""
+
+import pytest
+
+from repro.evalsuite.reporting import format_table
+from repro.evalsuite.verification_study import verification_reliability
+
+
+def test_verification_reliability(benchmark, artifact_writer):
+    rows = benchmark.pedantic(
+        lambda: verification_reliability(epsilons=(0.0, 1e-10, 1e-2)),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["config", "false_negatives", "false_positives", "subtle_false_positives"],
+        [
+            [
+                row.config,
+                f"{row.false_negatives}/{row.equivalent_pairs}",
+                f"{row.false_positives}/{row.inequivalent_pairs}",
+                "n/a (inexpressible)"
+                if row.subtle_false_positives is None
+                else f"{row.subtle_false_positives}/{row.inequivalent_pairs}",
+            ]
+            for row in rows
+        ],
+    )
+    report = "equivalence-checking reliability per representation\n\n" + table
+    print("\n" + report)
+    artifact_writer("verification_study.txt", report)
+    assert rows[0].is_sound_and_complete  # algebraic

@@ -1,0 +1,75 @@
+"""Exact single-qubit Clifford+T synthesis (the constructive side of [8]).
+
+The paper's key fact is Giles/Selinger's theorem: a unitary is exactly
+Clifford+T-implementable iff its entries lie in D[omega].  This example
+shows the constructive direction -- take an exact unitary matrix, run
+sde-reduction synthesis, and get back an {H, T} word that reproduces it
+coefficient for coefficient.
+
+Run:  python examples/exact_synthesis.py
+"""
+
+import random
+
+from repro.rings.matrix2 import Matrix2
+from repro.synth import synthesize_exact, word_to_matrix
+
+
+def show(title: str, matrix: Matrix2) -> None:
+    result = synthesize_exact(matrix)
+    word = "".join(result.gates) or "(identity)"
+    phase = f" * omega^{result.phase_exponent}" if result.phase_exponent else ""
+    check = result.to_matrix() == matrix
+    print(f"  {title}:")
+    print(f"    word = {word}{phase}   (length {len(result.gates)}, "
+          f"T-count {result.t_count})")
+    print(f"    exact roundtrip: {check}")
+
+
+def main() -> None:
+    print("exact synthesis of named gates:")
+    show("S gate", Matrix2.s_gate())
+    show("X gate", Matrix2.x_gate())
+    show("omega^3 * I (pure phase)", Matrix2.omega_phase(3))
+    print()
+
+    print("synthesising a deep scrambled unitary:")
+    rng = random.Random(7)
+    scramble = tuple(rng.choice("ht") for _ in range(120))
+    target = word_to_matrix(scramble)
+    print(f"  input: product of {len(scramble)} random H/T gates, "
+          f"sde = {target.sde()}, coefficient bits = {target.max_bit_width()}")
+    result = synthesize_exact(target)
+    print(f"  synthesised word length: {len(result.gates)} "
+          f"(T-count {result.t_count})")
+    print(f"  exact roundtrip: {result.to_matrix() == target}")
+    print()
+    print("note: synthesis works from the *matrix alone* -- the original")
+    print("gate sequence is never consulted.  This is only possible because")
+    print("the matrix is stored exactly; float entries could not be reduced")
+    print("in the ring.")
+    print()
+
+    # ------------------------------------------------------------------
+    # Multi-qubit synthesis straight from a decision diagram.
+    # ------------------------------------------------------------------
+    from repro.circuits.circuit import Circuit
+    from repro.dd.manager import algebraic_manager
+    from repro.sim.simulator import Simulator
+    from repro.synth import synthesize_from_dd
+
+    print("multi-qubit synthesis from a matrix DD (Giles/Selinger [8]):")
+    original = Circuit(3).h(0).t(0).cx(0, 1).s(1).ccx(0, 1, 2).h(2)
+    manager = algebraic_manager(3)
+    simulator = Simulator(manager)
+    unitary = simulator.unitary(original)
+    print(f"  original circuit: {len(original)} gates; unitary DD: "
+          f"{manager.node_count(unitary)} nodes")
+    resynthesised = synthesize_from_dd(manager, unitary)
+    print(f"  resynthesised: {len(resynthesised)} (multi-controlled) gates")
+    same = manager.edges_equal(unitary, simulator.unitary(resynthesised))
+    print(f"  unitaries structurally identical (O(1) root check): {same}")
+
+
+if __name__ == "__main__":
+    main()

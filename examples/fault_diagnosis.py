@@ -1,0 +1,58 @@
+"""Detecting and locating faulty gates with exact equivalence checking.
+
+The paper motivates design automation with fault detection/diagnosis
+[7].  With algebraic QMDDs a fault is *provably* present (no tolerance
+false verdicts), a distinguishing input can be extracted from the
+difference DD, and the fault position is located by bisecting prefix
+unitaries.
+
+Run:  python examples/fault_diagnosis.py
+"""
+
+from repro.algorithms.grover import grover_circuit
+from repro.verify import (
+    Fault,
+    check_equivalence,
+    find_counterexample,
+    inject_fault,
+    locate_fault,
+)
+
+
+def main() -> None:
+    reference = grover_circuit(4, 9)
+    print(f"specification: {reference.name} ({len(reference)} gates)")
+
+    # A subtle phase fault: one X of the diffusion operator becomes Z.
+    position = 12
+    fault = Fault("replace", position)
+    try:
+        faulty = inject_fault(reference, fault)
+    except Exception:
+        # fall back to a guaranteed-replaceable position
+        position = next(
+            i for i, op in enumerate(reference) if op.gate.name in ("h", "x")
+        )
+        fault = Fault("replace", position)
+        faulty = inject_fault(reference, fault)
+    print(f"injected fault: {fault} "
+          f"({reference[position].gate.name} -> {faulty[position].gate.name})")
+    print()
+
+    verdict = check_equivalence(reference, faulty)
+    print(f"equivalence check: {'EQUIVALENT' if verdict else 'FAULT DETECTED'}")
+
+    witness = find_counterexample(reference, faulty)
+    print(f"distinguishing basis input: |{witness:0{reference.num_qubits}b}>")
+
+    located = locate_fault(reference, faulty)
+    print(f"prefix bisection locates the fault at gate index: {located} "
+          f"(injected at {position})")
+    print()
+    print("diagnosis is exact: the algebraic representation admits no")
+    print("tolerance blind spots, so every functional single-gate fault is")
+    print("caught and localised.")
+
+
+if __name__ == "__main__":
+    main()

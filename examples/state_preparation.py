@@ -1,0 +1,46 @@
+"""Exact state preparation from a decision diagram.
+
+Run a circuit, keep only its final state DD, forget the circuit -- and
+synthesise a *new* preparation circuit for that exact state (Giles/
+Selinger column reduction, repro.synth.stateprep).  The rebuilt state is
+structurally identical to the original: an O(1) root comparison
+certifies the synthesis.
+
+Run:  python examples/state_preparation.py
+"""
+
+from repro import Circuit, Simulator, algebraic_manager
+from repro.synth import prepare_state_from_dd
+
+
+def main() -> None:
+    # Some entangled Clifford+T state.
+    original_circuit = Circuit(3, name="mystery")
+    original_circuit.h(0).t(0).cx(0, 1).s(1).ccx(0, 1, 2).h(2).tdg(2)
+
+    manager = algebraic_manager(3)
+    simulator = Simulator(manager)
+    state = simulator.run(original_circuit).state
+    print(f"original circuit: {len(original_circuit)} gates")
+    print(f"state DD: {manager.node_count(state)} nodes")
+    print("exact amplitudes:")
+    for index, amplitude in enumerate(manager.to_exact_amplitudes(state)):
+        if not manager.system.is_zero(amplitude):
+            print(f"  |{index:03b}> : {amplitude}")
+    print()
+
+    preparation = prepare_state_from_dd(manager, state)
+    print(f"synthesised preparation circuit: {len(preparation)} "
+          "(multi-controlled) gates")
+
+    rebuilt = simulator.run(preparation).state
+    print(f"rebuilt state structurally identical (O(1) root check): "
+          f"{manager.edges_equal(rebuilt, state)}")
+    print()
+    print("the synthesis consumed only the exact decision diagram -- the")
+    print("original gate list was never consulted.  With floating-point")
+    print("amplitudes this factorisation in the ring would be impossible.")
+
+
+if __name__ == "__main__":
+    main()

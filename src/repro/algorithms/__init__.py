@@ -1,0 +1,72 @@
+"""The paper's benchmark quantum algorithms.
+
+* :mod:`repro.algorithms.grover` -- database search [2] (exact gates);
+* :mod:`repro.algorithms.bwt` -- Binary Welded Tree walk [38] (exact);
+* :mod:`repro.algorithms.gse` -- ground-state estimation via phase
+  estimation [33], Clifford+T-compiled like the paper's Quipper
+  preprocessing.
+"""
+
+from repro.algorithms.bwt import (
+    bwt_circuit,
+    bwt_register_sizes,
+    edge_colouring,
+    welded_tree_graph,
+)
+from repro.algorithms.grover import (
+    grover_circuit,
+    grover_diffusion,
+    grover_oracle,
+    optimal_iterations,
+    success_probability_bound,
+)
+from repro.algorithms.arithmetic import (
+    cuccaro_adder,
+    decode_cuccaro,
+    decode_draper,
+    draper_adder,
+    encode_cuccaro,
+    encode_draper,
+)
+from repro.algorithms.oracles import (
+    bernstein_vazirani_circuit,
+    deutsch_jozsa_balanced_circuit,
+    deutsch_jozsa_constant_circuit,
+    simon_circuit,
+    solve_simon_system,
+)
+from repro.algorithms.gse import (
+    DiagonalHamiltonian,
+    default_hamiltonian,
+    ground_state,
+    gse_circuit,
+    gse_rotation_circuit,
+)
+
+__all__ = [
+    "DiagonalHamiltonian",
+    "bernstein_vazirani_circuit",
+    "bwt_circuit",
+    "cuccaro_adder",
+    "decode_cuccaro",
+    "decode_draper",
+    "draper_adder",
+    "encode_cuccaro",
+    "encode_draper",
+    "deutsch_jozsa_balanced_circuit",
+    "deutsch_jozsa_constant_circuit",
+    "simon_circuit",
+    "solve_simon_system",
+    "bwt_register_sizes",
+    "default_hamiltonian",
+    "edge_colouring",
+    "ground_state",
+    "grover_circuit",
+    "grover_diffusion",
+    "grover_oracle",
+    "gse_circuit",
+    "gse_rotation_circuit",
+    "optimal_iterations",
+    "success_probability_bound",
+    "welded_tree_graph",
+]

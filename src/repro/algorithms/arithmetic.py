@@ -1,0 +1,139 @@
+r"""Reversible arithmetic circuits: ripple-carry and QFT adders.
+
+Two classic adders that sit on opposite sides of the paper's
+exactness boundary:
+
+* the **Cuccaro ripple-carry adder** is purely classical-reversible
+  (CX/CCX), hence exactly representable -- the algebraic QMDD simulates
+  it without any approximation;
+* the **Draper QFT adder** uses controlled phase rotations
+  ``pi/2^k`` which leave ``D[omega]`` for ``k >= 3`` -- the natural
+  "real workload" companion to the paper's GSE benchmark, requiring
+  Clifford+T approximation for exact simulation.
+
+Both compute ``|a>|b> -> |a>|a + b mod 2^n>`` on matching registers, so
+they make a meaningful cross-verification pair.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import inverse_qft_circuit, qft_circuit
+from repro.errors import CircuitError
+
+__all__ = [
+    "cuccaro_adder",
+    "draper_adder",
+    "decode_cuccaro",
+    "decode_draper",
+    "encode_cuccaro",
+    "encode_draper",
+]
+
+
+def cuccaro_adder(num_bits: int) -> Circuit:
+    """In-place modular ripple-carry adder ``b <- a + b mod 2^n``.
+
+    Register layout (qubit 0 first): ``a`` (``num_bits`` qubits, MSB
+    first), ``b`` (``num_bits`` qubits, MSB first), one borrowed-zero
+    carry ancilla (returned to ``|0>``).
+
+    Uses the MAJ/UMA construction of Cuccaro et al.; the carry-out is
+    dropped (modular addition), which removes the top CNOT of the
+    original circuit.
+    """
+    if num_bits < 1:
+        raise CircuitError("adder needs at least one bit")
+    total = 2 * num_bits + 1
+    circuit = Circuit(total, name=f"cuccaro_{num_bits}b")
+    carry = total - 1
+
+    def a_bit(i: int) -> int:  # i = 0 is the LSB
+        return num_bits - 1 - i
+
+    def b_bit(i: int) -> int:
+        return 2 * num_bits - 1 - i
+
+    def maj(c: int, b: int, a: int) -> None:
+        circuit.cx(a, b)
+        circuit.cx(a, c)
+        circuit.ccx(c, b, a)
+
+    def uma(c: int, b: int, a: int) -> None:
+        circuit.ccx(c, b, a)
+        circuit.cx(a, c)
+        circuit.cx(c, b)
+
+    chain = [carry] + [a_bit(i) for i in range(num_bits)]
+    for i in range(num_bits):
+        maj(chain[i], b_bit(i), chain[i + 1])
+    for i in reversed(range(num_bits)):
+        uma(chain[i], b_bit(i), chain[i + 1])
+    return circuit
+
+
+def draper_adder(num_bits: int) -> Circuit:
+    """Draper's transform adder ``b <- a + b mod 2^n`` (no ancilla).
+
+    Register layout: ``a`` then ``b`` (both MSB first).  The adder
+    conjugates phase additions with the QFT on ``b``; rotation angles
+    ``pi / 2^k`` with ``k >= 3`` make the circuit inexact for
+    ``num_bits >= 3`` -- pass it through
+    :func:`repro.approx.approximate_circuit` for algebraic simulation.
+    """
+    if num_bits < 1:
+        raise CircuitError("adder needs at least one bit")
+    total = 2 * num_bits
+    circuit = Circuit(total, name=f"draper_{num_bits}b")
+    # QFT on the b register (no swaps; phases are register-symmetric).
+    qft = qft_circuit(num_bits, include_swaps=False)
+    for operation in qft:
+        circuit.append(
+            operation.gate,
+            num_bits + operation.target,
+            controls=tuple(num_bits + c for c in operation.controls),
+        )
+    # Controlled phase additions from a onto the Fourier-space b.
+    for b_index in range(num_bits):       # target b qubit (MSB first)
+        for a_index in range(num_bits):   # controlling a qubit
+            # phase pi / 2^(a_index - b_index) wraps mod 2 pi; only
+            # non-trivial when the shift is in range.
+            k = a_index - b_index
+            if k < 0:
+                continue
+            circuit.cp(math.pi / (1 << k), a_index, num_bits + b_index)
+    iqft = inverse_qft_circuit(num_bits, include_swaps=False)
+    for operation in iqft:
+        circuit.append(
+            operation.gate,
+            num_bits + operation.target,
+            controls=tuple(num_bits + c for c in operation.controls),
+        )
+    return circuit
+
+
+def decode_cuccaro(basis_index: int, num_bits: int):
+    """``(a, b, carry)`` from a basis index of :func:`cuccaro_adder`."""
+    total = 2 * num_bits + 1
+    bits = [(basis_index >> (total - 1 - q)) & 1 for q in range(total)]
+    a = int("".join(map(str, bits[:num_bits])), 2)
+    b = int("".join(map(str, bits[num_bits : 2 * num_bits])), 2)
+    return a, b, bits[-1]
+
+
+def encode_cuccaro(a: int, b: int, num_bits: int) -> int:
+    """Basis index preparing ``|a>|b>|0>`` for :func:`cuccaro_adder`."""
+    return ((a << num_bits) | b) << 1
+
+
+def decode_draper(basis_index: int, num_bits: int):
+    """``(a, b)`` from a basis index of :func:`draper_adder`."""
+    b = basis_index & ((1 << num_bits) - 1)
+    a = basis_index >> num_bits
+    return a, b
+
+
+def encode_draper(a: int, b: int, num_bits: int) -> int:
+    return (a << num_bits) | b

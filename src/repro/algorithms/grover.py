@@ -1,0 +1,100 @@
+r"""Grover's database-search algorithm [2] (paper benchmark 1).
+
+The circuit is built entirely from exactly representable gates
+(H, X and multi-controlled Z), so -- as the paper notes for its Grover
+benchmark -- "all quantum gates and complex numbers occurring during the
+computation are exactly representable by the proposed algebraic
+approach".
+
+Construction
+------------
+* uniform superposition: a Hadamard on every data qubit;
+* phase oracle for the marked element ``x*``: a multi-controlled Z whose
+  controls are negated (via X conjugation) on the zero bits of ``x*``;
+* diffusion operator: ``H^n X^n (MCZ) X^n H^n``.
+
+The optimal iteration count is ``round(pi/4 * sqrt(2^n))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+__all__ = [
+    "grover_circuit",
+    "grover_oracle",
+    "grover_diffusion",
+    "optimal_iterations",
+    "success_probability_bound",
+]
+
+
+def optimal_iterations(num_qubits: int) -> int:
+    """The standard ``round(pi/4 sqrt(N))`` iteration count (>= 1)."""
+    return max(1, round(math.pi / 4 * math.sqrt(2**num_qubits)))
+
+
+def grover_oracle(num_qubits: int, marked: int) -> Circuit:
+    """Phase oracle flipping the sign of ``|marked>``."""
+    if not 0 <= marked < (1 << num_qubits):
+        raise CircuitError(f"marked element {marked} out of range")
+    circuit = Circuit(num_qubits, name=f"oracle_{marked}")
+    zero_bits = [
+        qubit for qubit in range(num_qubits)
+        if not (marked >> (num_qubits - 1 - qubit)) & 1
+    ]
+    for qubit in zero_bits:
+        circuit.x(qubit)
+    circuit.mcz(list(range(num_qubits - 1)), num_qubits - 1)
+    for qubit in zero_bits:
+        circuit.x(qubit)
+    return circuit
+
+
+def grover_diffusion(num_qubits: int) -> Circuit:
+    """The inversion-about-the-mean operator."""
+    circuit = Circuit(num_qubits, name="diffusion")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        circuit.x(qubit)
+    circuit.mcz(list(range(num_qubits - 1)), num_qubits - 1)
+    for qubit in range(num_qubits):
+        circuit.x(qubit)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+def grover_circuit(
+    num_qubits: int, marked: int, iterations: Optional[int] = None
+) -> Circuit:
+    """The full Grover circuit searching for ``|marked>``.
+
+    With ``iterations=None`` the optimal count is used, after which the
+    marked element is measured with probability close to 1.
+    """
+    if num_qubits < 2:
+        raise CircuitError("Grover needs at least 2 qubits to be meaningful")
+    if iterations is None:
+        iterations = optimal_iterations(num_qubits)
+    circuit = Circuit(num_qubits, name=f"grover_{num_qubits}q_m{marked}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    oracle = grover_oracle(num_qubits, marked)
+    diffusion = grover_diffusion(num_qubits)
+    for _ in range(iterations):
+        circuit.extend(oracle)
+        circuit.extend(diffusion)
+    return circuit
+
+
+def success_probability_bound(num_qubits: int, iterations: int) -> float:
+    """Closed-form success probability ``sin^2((2k+1) theta)`` with
+    ``sin(theta) = 1/sqrt(N)`` -- used by tests to validate simulations."""
+    theta = math.asin(1 / math.sqrt(2**num_qubits))
+    return math.sin((2 * iterations + 1) * theta) ** 2

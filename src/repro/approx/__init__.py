@@ -1,0 +1,15 @@
+"""Clifford+T approximation of arbitrary rotations (Quipper substitute)."""
+
+from repro.approx.clifford_t import (
+    ApproximationResult,
+    approximate_circuit,
+    approximate_phase,
+    word_database_size,
+)
+
+__all__ = [
+    "ApproximationResult",
+    "approximate_circuit",
+    "approximate_phase",
+    "word_database_size",
+]

@@ -1,0 +1,73 @@
+"""Quantum-circuit substrate: gates, circuits, composite builders, QASM I/O."""
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import (
+    H,
+    S,
+    SDG,
+    SQRT_X,
+    STANDARD_GATES,
+    T,
+    TDG,
+    X,
+    Y,
+    Z,
+    GateDef,
+    identity_gate,
+    phase_gate,
+    rx_gate,
+    ry_gate,
+    rz_gate,
+    u_gate,
+)
+from repro.circuits.library import (
+    basis_permutation_circuit,
+    ghz_circuit,
+    inverse_qft_circuit,
+    mcx_with_toffolis,
+    qft_circuit,
+    uniform_superposition,
+)
+from repro.circuits.ordering import interleaved_order, permute_qubits, reversed_order
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.transpile import (
+    count_multi_controls,
+    expand_negative_controls,
+    transpile_to_basic_gates,
+)
+
+__all__ = [
+    "Circuit",
+    "GateDef",
+    "H",
+    "Operation",
+    "S",
+    "SDG",
+    "SQRT_X",
+    "STANDARD_GATES",
+    "T",
+    "TDG",
+    "X",
+    "Y",
+    "Z",
+    "basis_permutation_circuit",
+    "count_multi_controls",
+    "expand_negative_controls",
+    "from_qasm",
+    "ghz_circuit",
+    "interleaved_order",
+    "permute_qubits",
+    "reversed_order",
+    "identity_gate",
+    "inverse_qft_circuit",
+    "mcx_with_toffolis",
+    "phase_gate",
+    "qft_circuit",
+    "rx_gate",
+    "ry_gate",
+    "rz_gate",
+    "to_qasm",
+    "transpile_to_basic_gates",
+    "u_gate",
+    "uniform_superposition",
+]

@@ -1,0 +1,271 @@
+r"""Quantum circuits: ordered sequences of (multi-)controlled gates.
+
+A :class:`Circuit` is the unit of work for the simulator
+(:mod:`repro.sim`) and the equivalence checker (:mod:`repro.verify`).
+Each :class:`Operation` applies a single-qubit base gate
+(:class:`~repro.circuits.gates.GateDef`) to one target under an
+arbitrary set of positive and negative controls -- exactly the gate
+model the QMDD gate builder supports natively, so multi-controlled
+gates (Toffoli, the Grover-diffusion MCZ, ...) need no ancilla
+decomposition.
+
+Builder methods mirror common conventions::
+
+    circuit = Circuit(3)
+    circuit.h(0).cx(0, 1).ccx(0, 1, 2).t(2)
+    print(circuit)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.circuits.gates import (
+    H,
+    S,
+    SDG,
+    SQRT_X,
+    T,
+    TDG,
+    X,
+    Y,
+    Z,
+    GateDef,
+    phase_gate,
+    rx_gate,
+    ry_gate,
+    rz_gate,
+)
+from repro.errors import CircuitError
+
+__all__ = ["Operation", "Circuit"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate application inside a circuit."""
+
+    gate: GateDef
+    target: int
+    controls: Tuple[int, ...] = ()
+    negative_controls: Tuple[int, ...] = ()
+
+    def qubits(self) -> Tuple[int, ...]:
+        return (self.target,) + self.controls + self.negative_controls
+
+    def dagger(self) -> "Operation":
+        return Operation(
+            gate=self.gate.dagger(),
+            target=self.target,
+            controls=self.controls,
+            negative_controls=self.negative_controls,
+        )
+
+    def __str__(self) -> str:
+        text = str(self.gate)
+        if self.controls:
+            text = "c" * len(self.controls) + text
+        decorations = []
+        for control in self.controls:
+            decorations.append(f"c{control}")
+        for control in self.negative_controls:
+            decorations.append(f"!c{control}")
+        suffix = f" [{', '.join(decorations)}]" if decorations else ""
+        return f"{text} q{self.target}{suffix}"
+
+
+class Circuit:
+    """A gate-list circuit over ``num_qubits`` qubits.
+
+    All builder methods return ``self`` for chaining.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.operations: List[Operation] = []
+
+    # ------------------------------------------------------------------
+    # Core append
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        gate: GateDef,
+        target: int,
+        controls: Iterable[int] = (),
+        negative_controls: Iterable[int] = (),
+    ) -> "Circuit":
+        controls = tuple(controls)
+        negative_controls = tuple(negative_controls)
+        for qubit in (target,) + controls + negative_controls:
+            if not 0 <= qubit < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+        touched = (target,) + controls + negative_controls
+        if len(set(touched)) != len(touched):
+            raise CircuitError(f"duplicate qubit in gate application: {touched}")
+        self.operations.append(
+            Operation(gate, target, controls, negative_controls)
+        )
+        return self
+
+    def extend(self, other: "Circuit") -> "Circuit":
+        """Append all operations of ``other`` (same width required)."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("cannot extend with a circuit of different width")
+        self.operations.extend(other.operations)
+        return self
+
+    # ------------------------------------------------------------------
+    # Named builders
+    # ------------------------------------------------------------------
+
+    def h(self, qubit: int) -> "Circuit":
+        return self.append(H, qubit)
+
+    def x(self, qubit: int) -> "Circuit":
+        return self.append(X, qubit)
+
+    def y(self, qubit: int) -> "Circuit":
+        return self.append(Y, qubit)
+
+    def z(self, qubit: int) -> "Circuit":
+        return self.append(Z, qubit)
+
+    def s(self, qubit: int) -> "Circuit":
+        return self.append(S, qubit)
+
+    def sdg(self, qubit: int) -> "Circuit":
+        return self.append(SDG, qubit)
+
+    def t(self, qubit: int) -> "Circuit":
+        return self.append(T, qubit)
+
+    def tdg(self, qubit: int) -> "Circuit":
+        return self.append(TDG, qubit)
+
+    def sx(self, qubit: int) -> "Circuit":
+        return self.append(SQRT_X, qubit)
+
+    def p(self, theta: float, qubit: int) -> "Circuit":
+        return self.append(phase_gate(theta), qubit)
+
+    def rx(self, theta: float, qubit: int) -> "Circuit":
+        return self.append(rx_gate(theta), qubit)
+
+    def ry(self, theta: float, qubit: int) -> "Circuit":
+        return self.append(ry_gate(theta), qubit)
+
+    def rz(self, theta: float, qubit: int) -> "Circuit":
+        return self.append(rz_gate(theta), qubit)
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.append(X, target, controls=[control])
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self.append(Z, target, controls=[control])
+
+    def cp(self, theta: float, control: int, target: int) -> "Circuit":
+        return self.append(phase_gate(theta), target, controls=[control])
+
+    def ch(self, control: int, target: int) -> "Circuit":
+        return self.append(H, target, controls=[control])
+
+    def swap(self, first: int, second: int) -> "Circuit":
+        """SWAP decomposed into three CNOTs (all exactly representable)."""
+        return self.cx(first, second).cx(second, first).cx(first, second)
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "Circuit":
+        return self.append(X, target, controls=[control_a, control_b])
+
+    def ccz(self, control_a: int, control_b: int, target: int) -> "Circuit":
+        return self.append(Z, target, controls=[control_a, control_b])
+
+    def mcx(self, controls: Iterable[int], target: int) -> "Circuit":
+        return self.append(X, target, controls=controls)
+
+    def mcz(self, controls: Iterable[int], target: int) -> "Circuit":
+        return self.append(Z, target, controls=controls)
+
+    def mcp(self, theta: float, controls: Iterable[int], target: int) -> "Circuit":
+        return self.append(phase_gate(theta), target, controls=controls)
+
+    # ------------------------------------------------------------------
+    # Whole-circuit transformations
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit (reversed order, adjoint gates)."""
+        inverted = Circuit(self.num_qubits, name=f"{self.name}_dg")
+        for operation in reversed(self.operations):
+            inverted.operations.append(operation.dagger())
+        return inverted
+
+    def repeat(self, times: int) -> "Circuit":
+        """``times`` sequential repetitions of this circuit."""
+        if times < 0:
+            raise CircuitError("repetition count must be non-negative")
+        repeated = Circuit(self.num_qubits, name=f"{self.name}_x{times}")
+        for _ in range(times):
+            repeated.operations.extend(self.operations)
+        return repeated
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("cannot concatenate circuits of different width")
+        combined = Circuit(self.num_qubits, name=f"{self.name}+{other.name}")
+        combined.operations = self.operations + other.operations
+        return combined
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __getitem__(self, index):
+        return self.operations[index]
+
+    @property
+    def is_exactly_representable(self) -> bool:
+        """True iff every gate has exact ``D[omega]`` entries, i.e. the
+        circuit can be simulated by the algebraic QMDDs without any
+        approximation (like the paper's Grover and BWT benchmarks)."""
+        return all(op.gate.is_exactly_representable for op in self.operations)
+
+    def gate_counts(self) -> dict:
+        """Histogram of base-gate names (controls not distinguished)."""
+        counts: dict = {}
+        for operation in self.operations:
+            counts[operation.gate.name] = counts.get(operation.gate.name, 0) + 1
+        return counts
+
+    def t_count(self) -> int:
+        """Number of T/Tdg gates -- the usual fault-tolerance cost metric."""
+        return sum(1 for op in self.operations if op.gate.name in ("t", "tdg"))
+
+    def depth_touched_qubits(self) -> int:
+        """Number of distinct qubits actually used by the operations."""
+        touched = set()
+        for operation in self.operations:
+            touched.update(operation.qubits())
+        return len(touched)
+
+    def __str__(self) -> str:
+        header = f"{self.name}: {self.num_qubits} qubits, {len(self)} gates"
+        body = "\n".join(f"  {op}" for op in self.operations[:50])
+        if len(self.operations) > 50:
+            body += f"\n  ... ({len(self.operations) - 50} more)"
+        return f"{header}\n{body}" if body else header
+
+    def __repr__(self) -> str:
+        return f"Circuit(num_qubits={self.num_qubits}, gates={len(self)}, name={self.name!r})"

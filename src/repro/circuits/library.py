@@ -1,0 +1,114 @@
+r"""Composite circuit builders.
+
+Reusable sub-circuits used by examples, tests and the benchmark
+algorithms: GHZ preparation, uniform superposition, the quantum Fourier
+transform (exact when the width keeps all controlled phases at
+multiples of ``pi/4``) and an ancilla-free multi-controlled-X
+decomposition into Toffolis for comparison with the native
+multi-control support of the DD layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+__all__ = [
+    "ghz_circuit",
+    "uniform_superposition",
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "mcx_with_toffolis",
+    "basis_permutation_circuit",
+]
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """The GHZ state preparation ``H(0); CX(0,1); ...; CX(n-2, n-1)``."""
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def uniform_superposition(num_qubits: int) -> Circuit:
+    """A layer of Hadamards on every qubit."""
+    circuit = Circuit(num_qubits, name=f"h_layer_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True) -> Circuit:
+    """The quantum Fourier transform.
+
+    Controlled phases use angles ``pi/2^k``; only ``k <= 2``
+    (i.e. angles >= pi/4) are Clifford+T-exact, so the QFT on more than
+    3 qubits is *not* exactly representable -- a natural test case for
+    the exact-vs-approximate boundary the paper draws.
+    """
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=1):
+            circuit.cp(math.pi / (2**offset), control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def inverse_qft_circuit(num_qubits: int, include_swaps: bool = True) -> Circuit:
+    """The adjoint of :func:`qft_circuit`."""
+    inverse = qft_circuit(num_qubits, include_swaps=include_swaps).inverse()
+    inverse.name = f"iqft_{num_qubits}"
+    return inverse
+
+
+def mcx_with_toffolis(
+    num_qubits: int, controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> Circuit:
+    """Multi-controlled X decomposed into a Toffoli ladder.
+
+    Needs ``len(controls) - 2`` clean ancillas for ``len(controls) >= 3``.
+    Provided for ablation against the DD layer's native multi-control
+    support (which needs no ancillas at all).
+    """
+    controls = list(controls)
+    ancillas = list(ancillas)
+    circuit = Circuit(num_qubits, name="mcx_toffoli")
+    if len(controls) == 0:
+        return circuit.x(target)
+    if len(controls) == 1:
+        return circuit.cx(controls[0], target)
+    if len(controls) == 2:
+        return circuit.ccx(controls[0], controls[1], target)
+    needed = len(controls) - 2
+    if len(ancillas) < needed:
+        raise CircuitError(f"need {needed} ancillas for {len(controls)} controls")
+    ladder: List[tuple] = []
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    ladder.append((controls[0], controls[1], ancillas[0]))
+    for index in range(2, len(controls) - 1):
+        circuit.ccx(controls[index], ancillas[index - 2], ancillas[index - 1])
+        ladder.append((controls[index], ancillas[index - 2], ancillas[index - 1]))
+    circuit.ccx(controls[-1], ancillas[needed - 1], target)
+    for a, b, c in reversed(ladder):
+        circuit.ccx(a, b, c)
+    return circuit
+
+
+def basis_permutation_circuit(num_qubits: int, swaps: Iterable[tuple]) -> Circuit:
+    """X-conjugated CX networks permuting computational basis labels.
+
+    Each ``(i, j)`` pair swaps qubit lines ``i`` and ``j`` (three CNOTs);
+    handy for building reversible-logic style test circuits.
+    """
+    circuit = Circuit(num_qubits, name="basis_permutation")
+    for first, second in swaps:
+        circuit.swap(first, second)
+    return circuit

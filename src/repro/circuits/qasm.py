@@ -1,0 +1,120 @@
+r"""Minimal OpenQASM 2.0 subset I/O.
+
+Supports the gate set this package actually uses -- named Clifford+T
+gates, rotations/phases, and (multi-)controlled forms via ``cx``,
+``cz``, ``ccx``, ``cp`` -- enough to exchange the benchmark circuits
+with mainstream tools.  One quantum register, no classical registers,
+no measurement statements (simulation is statevector-based).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import STANDARD_GATES, phase_gate, rx_gate, ry_gate, rz_gate
+from repro.errors import CircuitError
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines = [_HEADER + f"qreg q[{circuit.num_qubits}];"]
+    for operation in circuit:
+        if operation.negative_controls:
+            raise CircuitError(
+                "OpenQASM 2.0 has no negative-control syntax; expand with X "
+                "conjugation before export"
+            )
+        gate = operation.gate
+        params = ""
+        if gate.params:
+            params = "(" + ", ".join(f"{p!r}" for p in gate.params) + ")"
+        prefix = "c" * len(operation.controls)
+        qubits = [f"q[{c}]" for c in operation.controls] + [f"q[{operation.target}]"]
+        lines.append(f"{prefix}{gate.name}{params} {', '.join(qubits)};")
+    return "\n".join(lines) + "\n"
+
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_GATE_RE = re.compile(r"^(?P<name>[a-z]+)(?:\((?P<params>[^)]*)\))?\s+(?P<args>.+)$")
+_ARG_RE = re.compile(r"\w+\s*\[\s*(\d+)\s*\]")
+
+_ROTATIONS = {"rx": rx_gate, "ry": ry_gate, "rz": rz_gate, "p": phase_gate, "u1": phase_gate}
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a QASM parameter expression (pi arithmetic only)."""
+    cleaned = text.strip()
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\) pi]*", cleaned):
+        raise CircuitError(f"unsupported parameter expression: {text!r}")
+    return float(eval(cleaned, {"__builtins__": {}}, {"pi": math.pi}))
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse the supported OpenQASM 2.0 subset into a :class:`Circuit`."""
+    circuit = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        for statement in filter(None, (part.strip() for part in line.split(";"))):
+            match = _QREG_RE.match(statement)
+            if match:
+                circuit = Circuit(int(match.group(2)), name="qasm_import")
+                continue
+            if statement.startswith(("creg", "barrier", "measure")):
+                continue
+            if circuit is None:
+                raise CircuitError("gate statement before qreg declaration")
+            _parse_gate(circuit, statement)
+    if circuit is None:
+        raise CircuitError("no qreg declaration found")
+    return circuit
+
+
+def _parse_gate(circuit: Circuit, statement: str) -> None:
+    match = _GATE_RE.match(statement)
+    if not match:
+        raise CircuitError(f"cannot parse statement: {statement!r}")
+    name = match.group("name")
+    params = match.group("params")
+    qubits = [int(index) for index in _ARG_RE.findall(match.group("args"))]
+    if not qubits:
+        raise CircuitError(f"no qubit arguments in: {statement!r}")
+
+    # Strip the control prefix (cx, ccx, cz, cp, ...): the shortest
+    # all-'c' prefix whose remainder is a known base gate.
+    base = name
+    control_count = 0
+    for prefix_length in range(len(name)):
+        if any(ch != "c" for ch in name[:prefix_length]):
+            break
+        if _base_gate_exists(name[prefix_length:]):
+            base = name[prefix_length:]
+            control_count = prefix_length
+            break
+    if base == "swap":
+        if control_count:
+            raise CircuitError("controlled swap not supported")
+        circuit.swap(qubits[0], qubits[1])
+        return
+    controls = qubits[:control_count]
+    target = qubits[control_count]
+    if base in _ROTATIONS:
+        if params is None:
+            raise CircuitError(f"gate {base} requires a parameter")
+        gate = _ROTATIONS[base](_eval_param(params))
+    elif base in STANDARD_GATES:
+        gate = STANDARD_GATES[base]
+    else:
+        raise CircuitError(f"unsupported gate {name!r}")
+    circuit.append(gate, target, controls=controls)
+
+
+def _base_gate_exists(name: str) -> bool:
+    return name in STANDARD_GATES or name in _ROTATIONS or name == "swap"

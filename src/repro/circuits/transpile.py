@@ -1,0 +1,197 @@
+r"""Light-weight circuit rewrites for interoperability.
+
+The DD layer supports negative controls and arbitrary multi-controlled
+single-qubit gates natively, but external tools (and OpenQASM 2.0)
+mostly do not.  This module provides the bridging rewrites:
+
+* :func:`expand_negative_controls` -- conjugate negative controls with
+  X gates, producing a circuit with positive controls only (exactly
+  equivalent; the standard trick);
+* :func:`count_multi_controls` -- quick inventory of what a consumer
+  must support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import X
+
+__all__ = [
+    "expand_negative_controls",
+    "count_multi_controls",
+    "transpile_to_basic_gates",
+]
+
+
+def expand_negative_controls(circuit: Circuit) -> Circuit:
+    """Rewrite every negative control as an X-conjugated positive one.
+
+    The result computes the identical unitary and is accepted by
+    :func:`repro.circuits.qasm.to_qasm` for gates QASM can name.
+    """
+    expanded = Circuit(circuit.num_qubits, name=f"{circuit.name}_posctrl")
+    for operation in circuit:
+        if not operation.negative_controls:
+            expanded.operations.append(operation)
+            continue
+        for qubit in operation.negative_controls:
+            expanded.operations.append(Operation(X, qubit))
+        expanded.operations.append(
+            Operation(
+                operation.gate,
+                operation.target,
+                operation.controls + operation.negative_controls,
+                (),
+            )
+        )
+        for qubit in operation.negative_controls:
+            expanded.operations.append(Operation(X, qubit))
+    return expanded
+
+
+def transpile_to_basic_gates(circuit: Circuit) -> Circuit:
+    """Rewrite into the elementary Clifford+T set {1-qubit gates, CX}.
+
+    Supported inputs: any uncontrolled gate; CX/CZ/CY/CH and controlled
+    phases ``p(k*pi/4)``; doubly-controlled X/Z and doubly-controlled
+    ``pi/4``-multiple phases.  Negative controls are expanded first.
+    The Toffoli uses the standard 7-T decomposition.  Raises
+    :class:`~repro.errors.CircuitError` for gates outside this set
+    (arbitrary multi-controls: keep them for the DD layer, or use
+    :mod:`repro.synth` for a from-scratch factorisation).
+    """
+    import math
+
+    from repro.circuits.gates import phase_gate
+    from repro.errors import CircuitError
+
+    source = expand_negative_controls(circuit)
+    result = Circuit(circuit.num_qubits, name=f"{circuit.name}_basic")
+
+    def emit_phase_word(theta: float, qubit: int) -> None:
+        ratio = theta / (math.pi / 4)
+        steps = round(ratio)
+        if abs(ratio - steps) > 1e-12:
+            # Determinant obstruction: a controlled phase whose half
+            # angle is an odd pi/4 multiple (e.g. controlled-T) cannot
+            # be realised ancilla-free over {1-qubit Clifford+T, CX} --
+            # achievable determinants are even powers of omega only.
+            raise CircuitError(
+                f"phase {theta:.6g} is not a pi/4 multiple; the enclosing "
+                "controlled phase (e.g. controlled-T) needs an ancilla -- "
+                "keep it for the DD layer instead"
+            )
+        for _ in range(steps % 8):
+            result.t(qubit)
+
+    def emit_controlled_phase(theta: float, control: int, target: int) -> None:
+        # cp(theta) = p(theta/2) c; p(theta/2) t; cx; p(-theta/2) t; cx
+        emit_phase_word(theta / 2, control)
+        emit_phase_word(theta / 2, target)
+        result.cx(control, target)
+        emit_phase_word(-theta / 2, target)
+        result.cx(control, target)
+
+    def emit_ccx(a: int, b: int, c: int) -> None:
+        # The standard 7-T Toffoli.
+        result.h(c)
+        result.cx(b, c)
+        result.tdg(c)
+        result.cx(a, c)
+        result.t(c)
+        result.cx(b, c)
+        result.tdg(c)
+        result.cx(a, c)
+        result.t(b)
+        result.t(c)
+        result.h(c)
+        result.cx(a, b)
+        result.t(a)
+        result.tdg(b)
+        result.cx(a, b)
+
+    def is_pi4_phase(gate) -> bool:
+        if gate.name != "p" or not gate.params:
+            return False
+        ratio = gate.params[0] / (math.pi / 4)
+        return abs(ratio - round(ratio)) < 1e-12
+
+    for operation in source:
+        gate = operation.gate
+        controls = operation.controls
+        if not controls:
+            result.operations.append(operation)
+            continue
+        if len(controls) == 1:
+            control = controls[0]
+            target = operation.target
+            if gate.name == "x":
+                result.cx(control, target)
+            elif gate.name == "z":
+                result.h(target)
+                result.cx(control, target)
+                result.h(target)
+            elif gate.name == "y":
+                result.sdg(target)
+                result.cx(control, target)
+                result.s(target)
+            elif gate.name == "h":
+                # qiskit's exact CH decomposition.
+                result.s(target)
+                result.h(target)
+                result.t(target)
+                result.cx(control, target)
+                result.tdg(target)
+                result.h(target)
+                result.sdg(target)
+            elif gate.name in ("s", "sdg", "t", "tdg") or is_pi4_phase(gate):
+                angles = {"s": math.pi / 2, "sdg": -math.pi / 2,
+                          "t": math.pi / 4, "tdg": -math.pi / 4}
+                theta = angles.get(gate.name, gate.params[0] if gate.params else 0.0)
+                emit_controlled_phase(theta, control, target)
+            else:
+                raise CircuitError(
+                    f"cannot transpile controlled {gate.name!r} to basic gates"
+                )
+            continue
+        if len(controls) == 2:
+            a, b = controls
+            target = operation.target
+            if gate.name == "x":
+                emit_ccx(a, b, target)
+            elif gate.name == "z":
+                result.h(target)
+                emit_ccx(a, b, target)
+                result.h(target)
+            elif gate.name in ("s", "sdg", "t", "tdg") or is_pi4_phase(gate):
+                angles = {"s": math.pi / 2, "sdg": -math.pi / 2,
+                          "t": math.pi / 4, "tdg": -math.pi / 4}
+                theta = angles.get(gate.name, gate.params[0] if gate.params else 0.0)
+                # ccp(theta) = cp(theta/2)(a,b) cp(theta/2)(a,t) cx(b,t)
+                #              cp(-theta/2)(a,t) cx(b,t)  [half-angle identity]
+                emit_controlled_phase(theta / 2, a, b)
+                emit_controlled_phase(theta / 2, a, target)
+                result.cx(b, target)
+                emit_controlled_phase(-theta / 2, a, target)
+                result.cx(b, target)
+            else:
+                raise CircuitError(
+                    f"cannot transpile doubly-controlled {gate.name!r}"
+                )
+            continue
+        raise CircuitError(
+            f"{len(controls)} controls exceed the basic-gate transpiler; "
+            "keep multi-controls for the DD layer or use repro.synth"
+        )
+    return result
+
+
+def count_multi_controls(circuit: Circuit) -> Dict[int, int]:
+    """Histogram of control counts (0 = plain single-qubit gates)."""
+    histogram: Dict[int, int] = {}
+    for operation in circuit:
+        controls = len(operation.controls) + len(operation.negative_controls)
+        histogram[controls] = histogram.get(controls, 0) + 1
+    return histogram

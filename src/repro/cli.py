@@ -1,0 +1,254 @@
+r"""Command-line interface: ``repro-qmdd``.
+
+Subcommands mirror the evaluation workflow:
+
+``repro-qmdd simulate --algorithm grover --qubits 6 --system algebraic``
+    Simulate one benchmark under one representation and print metrics.
+
+``repro-qmdd tradeoff --algorithm grover --qubits 6``
+    Run the full epsilon sweep (the paper's Figs. 3-5) and print the
+    three series plus the summary and shape checks.
+
+``repro-qmdd figure fig2|fig3|fig4|fig5``
+    Regenerate one paper figure with default (laptop) parameters.
+
+``repro-qmdd ablation --qubits 5``
+    The normalisation-scheme ablation of Section V-B.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.algorithms.bwt import bwt_circuit
+from repro.algorithms.grover import grover_circuit
+from repro.algorithms.gse import gse_circuit
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import (
+    algebraic_gcd_manager,
+    algebraic_manager,
+    numeric_manager,
+)
+from repro.evalsuite.ablation import run_normalization_ablation
+from repro.evalsuite.experiments import (
+    fig2_gse_size,
+    fig3_grover,
+    fig4_bwt,
+    fig5_gse,
+    shape_checks,
+)
+from repro.evalsuite.reporting import format_table, render_series, render_summary
+from repro.evalsuite.tradeoff import run_tradeoff
+from repro.sim.simulator import Simulator
+
+__all__ = ["main"]
+
+
+def _build_circuit(args: argparse.Namespace) -> Circuit:
+    if args.algorithm == "grover":
+        marked = args.marked if args.marked is not None else (1 << args.qubits) * 2 // 3
+        return grover_circuit(args.qubits, marked)
+    if args.algorithm == "bwt":
+        return bwt_circuit(depth=args.depth, steps=args.steps, seed=args.seed)
+    if args.algorithm == "gse":
+        return gse_circuit(num_sites=args.sites, precision_bits=args.precision)
+    raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+
+
+def _build_manager(system: str, eps: float, num_qubits: int):
+    if system == "algebraic":
+        return algebraic_manager(num_qubits)
+    if system == "algebraic-gcd":
+        return algebraic_gcd_manager(num_qubits)
+    if system == "numeric":
+        return numeric_manager(num_qubits, eps=eps)
+    raise SystemExit(f"unknown number system {system!r}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = _build_circuit(args)
+    manager = _build_manager(args.system, args.eps, circuit.num_qubits)
+    result = Simulator(manager).run(circuit)
+    print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
+    print(f"system:  {manager.system.name}")
+    print(f"final DD size: {result.node_count} nodes")
+    print(f"run-time: {result.trace.total_seconds:.3f} s")
+    print(f"zero collapse: {'yes' if result.is_zero_state else 'no'}")
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    circuit = _build_circuit(args)
+    result = run_tradeoff(circuit, include_gcd=args.include_gcd)
+    print(render_summary(result))
+    print()
+    for metric in ("nodes", "error", "seconds"):
+        print(render_series(result, metric, samples=args.samples))
+        print()
+    checks = shape_checks(result)
+    print("shape checks (paper Section V-A):")
+    for name, passed in checks.items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    return 0 if all(checks.values()) else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = {
+        "fig2": fig2_gse_size,
+        "fig3": fig3_grover,
+        "fig4": fig4_bwt,
+        "fig5": fig5_gse,
+    }[args.figure]
+    result = driver(scale=args.scale)
+    print(render_summary(result))
+    print()
+    metrics = ["nodes"] if args.figure == "fig2" else ["nodes", "error", "seconds"]
+    if args.figure == "fig5":
+        metrics.append("bits")
+    for metric in metrics:
+        print(render_series(result, metric, samples=args.samples))
+        print()
+    for name, passed in shape_checks(result).items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    marked = (1 << args.qubits) * 2 // 3
+    circuit = grover_circuit(args.qubits, marked)
+    rows = run_normalization_ablation(circuit, include_gcd=not args.skip_gcd)
+    print(f"normalisation ablation on {circuit.name}:")
+    print(
+        format_table(
+            ["scheme", "seconds", "final_nodes", "peak_nodes", "trivial_frac", "bits"],
+            [
+                [
+                    row.scheme,
+                    round(row.seconds, 4),
+                    row.final_nodes,
+                    row.peak_nodes,
+                    round(row.trivial_weight_fraction, 3),
+                    row.max_bit_width,
+                ]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.evalsuite.scaling import grover_scaling
+
+    rows = grover_scaling(qubit_range=range(args.min_qubits, args.max_qubits + 1))
+    print("Grover peak DD size, exact vs eps=0 floats:")
+    print(
+        format_table(
+            ["qubits", "gates", "algebraic_peak", "eps0_peak", "alg_sec", "eps0_sec"],
+            [
+                [
+                    row.num_qubits,
+                    row.num_gates,
+                    row.algebraic_peak,
+                    row.eps0_peak,
+                    round(row.algebraic_seconds, 3),
+                    round(row.eps0_seconds, 3),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_tuning(args: argparse.Namespace) -> int:
+    from repro.evalsuite.tuning import tune_epsilon
+
+    circuit = _build_circuit(args)
+    report = tune_epsilon(circuit, error_target=args.error_target)
+    print(
+        f"tolerance tuning on {circuit.name}: {report.num_trials} full "
+        f"simulations, {report.total_seconds:.2f} s total"
+    )
+    print(
+        format_table(
+            ["eps", "final_error", "peak_nodes", "seconds", "viable"],
+            [
+                [
+                    f"{trial.eps:g}",
+                    trial.final_error,
+                    trial.peak_nodes,
+                    round(trial.seconds, 4),
+                    trial.meets_accuracy and trial.meets_compactness,
+                ]
+                for trial in report.trials
+            ],
+        )
+    )
+    if report.succeeded:
+        print(f"chosen eps = {report.chosen_eps:g}")
+        return 0
+    print("no tolerance value satisfies both targets")
+    return 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-qmdd",
+        description="Algebraic vs numerical QMDDs (DATE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_circuit_args(p):
+        p.add_argument("--algorithm", choices=("grover", "bwt", "gse"), default="grover")
+        p.add_argument("--qubits", type=int, default=6, help="Grover data qubits")
+        p.add_argument("--marked", type=int, default=None)
+        p.add_argument("--depth", type=int, default=2, help="BWT tree depth")
+        p.add_argument("--steps", type=int, default=4, help="BWT walk steps")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--sites", type=int, default=2, help="GSE system sites")
+        p.add_argument("--precision", type=int, default=2, help="GSE phase bits")
+
+    simulate = sub.add_parser("simulate", help="simulate one benchmark")
+    add_circuit_args(simulate)
+    simulate.add_argument(
+        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
+    )
+    simulate.add_argument("--eps", type=float, default=0.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    tradeoff = sub.add_parser("tradeoff", help="run the epsilon sweep")
+    add_circuit_args(tradeoff)
+    tradeoff.add_argument("--include-gcd", action="store_true")
+    tradeoff.add_argument("--samples", type=int, default=10)
+    tradeoff.set_defaults(func=_cmd_tradeoff)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("figure", choices=("fig2", "fig3", "fig4", "fig5"))
+    figure.add_argument("--scale", choices=("default", "paper"), default="default")
+    figure.add_argument("--samples", type=int, default=10)
+    figure.set_defaults(func=_cmd_figure)
+
+    ablation = sub.add_parser("ablation", help="normalisation-scheme ablation")
+    ablation.add_argument("--qubits", type=int, default=5)
+    ablation.add_argument("--skip-gcd", action="store_true")
+    ablation.set_defaults(func=_cmd_ablation)
+
+    scaling = sub.add_parser("scaling", help="DD size vs qubit count")
+    scaling.add_argument("--min-qubits", type=int, default=4)
+    scaling.add_argument("--max-qubits", type=int, default=7)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    tuning = sub.add_parser("tuning", help="tolerance fine-tuning cost")
+    add_circuit_args(tuning)
+    tuning.add_argument("--error-target", type=float, default=1e-8)
+    tuning.set_defaults(func=_cmd_tuning)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

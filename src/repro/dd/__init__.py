@@ -1,0 +1,57 @@
+"""QMDD decision diagrams, generic over the edge-weight number system.
+
+Public surface:
+
+* :class:`~repro.dd.manager.DDManager` plus the factory helpers
+  :func:`~repro.dd.manager.numeric_manager`,
+  :func:`~repro.dd.manager.algebraic_manager` (Q[omega], Algorithm 2) and
+  :func:`~repro.dd.manager.algebraic_gcd_manager` (D[omega] GCDs,
+  Algorithm 3);
+* :func:`~repro.dd.gatebuild.build_gate_dd` for linear-size controlled
+  gate construction;
+* :func:`~repro.dd.metrics.collect_metrics` for the paper's size /
+  bit-width measurements and :func:`~repro.dd.dot.to_dot` for rendering.
+"""
+
+from repro.dd.edge import Edge, Node, TERMINAL, iter_nodes
+from repro.dd.gatebuild import build_diagonal_dd, build_gate_dd
+from repro.dd.manager import (
+    DDManager,
+    algebraic_gcd_manager,
+    algebraic_manager,
+    numeric_manager,
+)
+from repro.dd.metrics import DDMetrics, collect_metrics, count_trivial_weights
+from repro.dd.dot import to_dot
+from repro.dd.serialize import dump, dumps, load, loads
+from repro.dd.number_system import (
+    AlgebraicGcdSystem,
+    AlgebraicQOmegaSystem,
+    NumberSystem,
+    NumericSystem,
+)
+
+__all__ = [
+    "AlgebraicGcdSystem",
+    "AlgebraicQOmegaSystem",
+    "DDManager",
+    "DDMetrics",
+    "Edge",
+    "Node",
+    "NumberSystem",
+    "NumericSystem",
+    "TERMINAL",
+    "algebraic_gcd_manager",
+    "algebraic_manager",
+    "build_diagonal_dd",
+    "build_gate_dd",
+    "collect_metrics",
+    "count_trivial_weights",
+    "dump",
+    "dumps",
+    "iter_nodes",
+    "load",
+    "loads",
+    "numeric_manager",
+    "to_dot",
+]

@@ -1,0 +1,54 @@
+"""Graphviz DOT export of decision diagrams.
+
+Renders a QMDD in the style of the paper's Fig. 1c: one box per node
+labelled with its level's qubit, edge weights annotated (weight-1 edges
+unlabelled, zero edges drawn as stubs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dd.edge import Edge, iter_nodes
+from repro.dd.manager import DDManager
+
+__all__ = ["to_dot"]
+
+
+def _format_weight(manager: DDManager, weight) -> str:
+    value = manager.system.to_complex(weight)
+    if abs(value.imag) < 1e-12:
+        return f"{value.real:.4g}"
+    if abs(value.real) < 1e-12:
+        return f"{value.imag:.4g}i"
+    return f"{value.real:.4g}{value.imag:+.4g}i"
+
+
+def to_dot(manager: DDManager, edge: Edge, name: str = "qmdd") -> str:
+    """Serialise ``edge`` as a Graphviz digraph string."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=circle];"]
+    lines.append('  terminal [shape=box, label="1"];')
+    lines.append('  root [shape=point];')
+    root_label = "" if manager.system.is_one(edge.weight) else _format_weight(manager, edge.weight)
+    target = "terminal" if edge.is_terminal else f"n{edge.node.uid}"
+    lines.append(f'  root -> {target} [label="{root_label}"];')
+    emitted: Dict[int, bool] = {}
+    for node in iter_nodes(edge):
+        if node.uid in emitted:
+            continue
+        emitted[node.uid] = True
+        qubit = manager.num_qubits - node.level
+        lines.append(f'  n{node.uid} [label="q{qubit}"];')
+        for position, child in enumerate(node.edges):
+            if manager.system.is_zero(child.weight):
+                stub = f"z{node.uid}_{position}"
+                lines.append(f'  {stub} [shape=point, width=0.05];')
+                lines.append(f'  n{node.uid} -> {stub} [style=dashed, label="{position}"];')
+                continue
+            child_name = "terminal" if child.is_terminal else f"n{child.node.uid}"
+            label = str(position)
+            if not manager.system.is_one(child.weight):
+                label += f": {_format_weight(manager, child.weight)}"
+            lines.append(f'  n{node.uid} -> {child_name} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

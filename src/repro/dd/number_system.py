@@ -1,0 +1,459 @@
+r"""Edge-weight number systems for QMDDs.
+
+The decision-diagram engine (:mod:`repro.dd.manager`) is generic over a
+*number system* -- the object that owns edge weights and defines
+
+* the arithmetic (``add``, ``mul``) used by the DD operations,
+* canonical hashable *keys* for the unique and compute tables, and
+* the edge-weight *normalisation* rule applied to every freshly built
+  node (this is where the paper's Algorithms 2 and 3 live).
+
+Three families are provided:
+
+:class:`NumericSystem`
+    The state of the art the paper critiques (Section III): IEEE-754
+    complex doubles interned through a tolerance table
+    (:class:`~repro.numeric.complex_table.ComplexTable`) with
+    configurable ``eps``.  Normalisation divides by the leftmost
+    non-zero weight (default) or by the largest-magnitude weight
+    (variant of [29], more numerically stable).
+
+:class:`AlgebraicQOmegaSystem`
+    The paper's first proposed scheme: exact weights in the field
+    ``Q[omega]``; normalisation per **Algorithm 2** divides all outgoing
+    weights by the leftmost non-zero one using exact field inverses.
+
+:class:`AlgebraicGcdSystem`
+    The paper's second scheme: exact weights in the ring ``D[omega]``;
+    normalisation per **Algorithm 3** factors out a greatest common
+    divisor, unit-adjusted so the leftmost non-zero weight becomes the
+    canonical associate (properties (a)-(c) of Section IV-B).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import DDError
+from repro.numeric.complex_table import ComplexEntry, ComplexTable
+from repro.rings.domega import DOmega
+from repro.rings.qomega import QOmega
+
+__all__ = [
+    "NumberSystem",
+    "NumericSystem",
+    "AlgebraicQOmegaSystem",
+    "AlgebraicGcdSystem",
+]
+
+
+class NumberSystem(ABC):
+    """Strategy interface for QMDD edge weights."""
+
+    #: Short identifier used in reports ("numeric", "algebraic-q", ...).
+    name: str = "abstract"
+
+    #: Whether arbitrary (non-Clifford+T) complex values can be
+    #: represented.  False for the exact systems: they raise on values
+    #: outside D[omega] (such gates must first be Clifford+T approximated,
+    #: see :mod:`repro.approx`).
+    supports_arbitrary_complex: bool = False
+
+    # -- constants ------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any: ...
+
+    @property
+    @abstractmethod
+    def one(self) -> Any: ...
+
+    # -- arithmetic -------------------------------------------------------
+
+    @abstractmethod
+    def add(self, left: Any, right: Any) -> Any: ...
+
+    @abstractmethod
+    def mul(self, left: Any, right: Any) -> Any: ...
+
+    @abstractmethod
+    def neg(self, value: Any) -> Any: ...
+
+    @abstractmethod
+    def conj(self, value: Any) -> Any:
+        """Complex conjugation (needed for adjoints and inner products)."""
+
+    # -- predicates and keys ------------------------------------------------
+
+    @abstractmethod
+    def is_zero(self, value: Any) -> bool: ...
+
+    @abstractmethod
+    def is_one(self, value: Any) -> bool: ...
+
+    @abstractmethod
+    def key(self, value: Any) -> Any:
+        """A canonical hashable key (equal keys <=> identified values)."""
+
+    # -- conversions -----------------------------------------------------------
+
+    @abstractmethod
+    def from_domega(self, value: DOmega) -> Any:
+        """Import an exact Clifford+T amplitude (always possible)."""
+
+    @abstractmethod
+    def from_complex(self, value: complex) -> Any:
+        """Import an arbitrary complex value (exact systems raise)."""
+
+    @abstractmethod
+    def to_complex(self, value: Any) -> complex:
+        """Export for display / accuracy metrics."""
+
+    # -- normalisation ----------------------------------------------------------
+
+    @abstractmethod
+    def normalize(self, weights: Tuple[Any, ...]) -> Tuple[Any, Tuple[Any, ...]]:
+        """Normalise a node's outgoing weights.
+
+        Returns ``(eta, normalized)`` with
+        ``weights[i] == eta * normalized[i]`` for all ``i`` and at least
+        one weight non-zero on input.  The normalised tuple must be
+        canonical: any two weight tuples describing the same node up to
+        a scalar factor normalise to identical tuples.
+        """
+
+    # -- optional metrics ----------------------------------------------------------
+
+    def bit_width(self, value: Any) -> int:
+        """Largest integer bit-width in the representation (0 if N/A)."""
+        return 0
+
+    def division_helper(self, numerator: Any, denominator: Any) -> Optional[Any]:
+        """``numerator / denominator`` if cheap and exact, else ``None``.
+
+        Used by the addition compute-table to factor out a common weight
+        for better cache locality; systems where division can leave the
+        ring return ``None`` and the cache falls back to explicit keys.
+        """
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Numerical system (state of the art, Section III)
+# ---------------------------------------------------------------------------
+
+
+class NumericSystem(NumberSystem):
+    """Floating-point weights with tolerance ``eps``.
+
+    Parameters
+    ----------
+    eps:
+        The identification tolerance (paper Section III); ``0`` for
+        bit-exact comparison.
+    normalization:
+        ``"leftmost"`` divides by the leftmost non-zero weight (the
+        original QMDD rule); ``"max-magnitude"`` divides by the (leftmost
+        of the) largest-magnitude weights, keeping all weights at
+        absolute value <= 1 for better numerical stability [29].
+    """
+
+    supports_arbitrary_complex = True
+
+    def __init__(
+        self,
+        eps: float = 0.0,
+        normalization: str = "leftmost",
+        precision: str = "double",
+    ) -> None:
+        if normalization not in ("leftmost", "max-magnitude"):
+            raise ValueError(f"unknown normalization scheme {normalization!r}")
+        self.table = ComplexTable(eps=eps, precision=precision)
+        self.eps = self.table.eps
+        self.normalization = normalization
+        self.precision = precision
+        suffix = ", single" if precision == "single" else ""
+        self.name = f"numeric(eps={eps:g}{suffix})"
+
+    # -- constants ------------------------------------------------------
+
+    @property
+    def zero(self) -> ComplexEntry:
+        return self.table.zero
+
+    @property
+    def one(self) -> ComplexEntry:
+        return self.table.one
+
+    # -- arithmetic -------------------------------------------------------
+
+    def add(self, left: ComplexEntry, right: ComplexEntry) -> ComplexEntry:
+        return self.table.lookup(left.value + right.value)
+
+    def mul(self, left: ComplexEntry, right: ComplexEntry) -> ComplexEntry:
+        if left is self.table.zero or right is self.table.zero:
+            return self.table.zero
+        if left is self.table.one:
+            return right
+        if right is self.table.one:
+            return left
+        return self.table.lookup(left.value * right.value)
+
+    def neg(self, value: ComplexEntry) -> ComplexEntry:
+        return self.table.lookup(-value.value)
+
+    def conj(self, value: ComplexEntry) -> ComplexEntry:
+        return self.table.lookup(value.value.conjugate())
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_zero(self, value: ComplexEntry) -> bool:
+        return value is self.table.zero
+
+    def is_one(self, value: ComplexEntry) -> bool:
+        return value is self.table.one
+
+    def key(self, value: ComplexEntry) -> int:
+        return value.index
+
+    # -- conversions -------------------------------------------------------------
+
+    def from_domega(self, value: DOmega) -> ComplexEntry:
+        return self.table.lookup(value.to_complex())
+
+    def from_complex(self, value: complex) -> ComplexEntry:
+        return self.table.lookup(value)
+
+    def to_complex(self, value: ComplexEntry) -> complex:
+        return value.value
+
+    # -- normalisation ---------------------------------------------------------------
+
+    def normalize(self, weights: Tuple[ComplexEntry, ...]) -> Tuple[ComplexEntry, Tuple[ComplexEntry, ...]]:
+        pivot_index = self._pivot(weights)
+        eta = weights[pivot_index]
+        normalized = []
+        for index, weight in enumerate(weights):
+            if weight is self.table.zero:
+                normalized.append(self.table.zero)
+            elif index == pivot_index:
+                normalized.append(self.table.one)
+            else:
+                normalized.append(self.table.lookup(weight.value / eta.value))
+        return (eta, tuple(normalized))
+
+    def _pivot(self, weights: Sequence[ComplexEntry]) -> int:
+        if self.normalization == "leftmost":
+            for index, weight in enumerate(weights):
+                if weight is not self.table.zero:
+                    return index
+            raise DDError("normalize called on all-zero weights")
+        best_index, best_magnitude = -1, -1.0
+        for index, weight in enumerate(weights):
+            if weight is self.table.zero:
+                continue
+            magnitude = abs(weight.value)
+            if magnitude > best_magnitude + 1e-18:
+                best_index, best_magnitude = index, magnitude
+        if best_index < 0:
+            raise DDError("normalize called on all-zero weights")
+        return best_index
+
+    def division_helper(self, numerator: ComplexEntry, denominator: ComplexEntry) -> Optional[ComplexEntry]:
+        if denominator is self.table.zero:
+            return None
+        return self.table.lookup(numerator.value / denominator.value)
+
+
+# ---------------------------------------------------------------------------
+# Algebraic system with Q[omega] inverses (paper Algorithm 2)
+# ---------------------------------------------------------------------------
+
+
+class AlgebraicQOmegaSystem(NumberSystem):
+    """Exact weights in the cyclotomic field ``Q[omega]``.
+
+    Normalisation implements the paper's **Algorithm 2**: divide every
+    outgoing weight by the leftmost non-zero weight (exact field
+    inverse), so the leftmost non-zero normalised weight is exactly 1.
+    At least half of all edge weights become trivial this way, which the
+    paper identifies as the reason this scheme outperforms the GCD
+    scheme (Section V-B).
+    """
+
+    name = "algebraic-q"
+    supports_arbitrary_complex = False
+
+    _ZERO = QOmega.zero()
+    _ONE = QOmega.one()
+
+    @property
+    def zero(self) -> QOmega:
+        return self._ZERO
+
+    @property
+    def one(self) -> QOmega:
+        return self._ONE
+
+    def add(self, left: QOmega, right: QOmega) -> QOmega:
+        return left + right
+
+    def mul(self, left: QOmega, right: QOmega) -> QOmega:
+        if left.is_zero() or right.is_zero():
+            return self._ZERO
+        if left.is_one():
+            return right
+        if right.is_one():
+            return left
+        return left * right
+
+    def neg(self, value: QOmega) -> QOmega:
+        return -value
+
+    def conj(self, value: QOmega) -> QOmega:
+        return value.conj()
+
+    def is_zero(self, value: QOmega) -> bool:
+        return value.is_zero()
+
+    def is_one(self, value: QOmega) -> bool:
+        return value.is_one()
+
+    def key(self, value: QOmega) -> Tuple[int, ...]:
+        return value.key()
+
+    def from_domega(self, value: DOmega) -> QOmega:
+        return QOmega.from_domega(value)
+
+    def from_complex(self, value: complex) -> QOmega:
+        raise DDError(
+            "the algebraic representation cannot import arbitrary complex "
+            "values; approximate the gate with Clifford+T first (repro.approx)"
+        )
+
+    def to_complex(self, value: QOmega) -> complex:
+        return value.to_complex()
+
+    def normalize(self, weights: Tuple[QOmega, ...]) -> Tuple[QOmega, Tuple[QOmega, ...]]:
+        pivot_index = -1
+        for index, weight in enumerate(weights):
+            if not weight.is_zero():
+                pivot_index = index
+                break
+        if pivot_index < 0:
+            raise DDError("normalize called on all-zero weights")
+        eta = weights[pivot_index]
+        inverse = eta.inverse()
+        normalized = []
+        for index, weight in enumerate(weights):
+            if weight.is_zero():
+                normalized.append(self._ZERO)
+            elif index == pivot_index:
+                normalized.append(self._ONE)
+            else:
+                normalized.append(weight * inverse)
+        return (eta, tuple(normalized))
+
+    def bit_width(self, value: QOmega) -> int:
+        return value.max_bit_width()
+
+    def division_helper(self, numerator: QOmega, denominator: QOmega) -> Optional[QOmega]:
+        if denominator.is_zero():
+            return None
+        return numerator * denominator.inverse()
+
+
+# ---------------------------------------------------------------------------
+# Algebraic system with D[omega] GCDs (paper Algorithm 3)
+# ---------------------------------------------------------------------------
+
+
+class AlgebraicGcdSystem(NumberSystem):
+    """Exact weights in the ring ``D[omega]`` with GCD normalisation.
+
+    Normalisation implements the paper's **Algorithm 3**: the
+    normalisation factor is a greatest common divisor of the outgoing
+    weights, unit-adjusted so the leftmost non-zero weight becomes the
+    canonical associate satisfying properties (a)-(c) of Section IV-B.
+    All weights stay inside ``D[omega]`` (no odd denominators), at the
+    price that few weights become trivial -- the overhead the paper
+    measures in Section V-B.
+    """
+
+    name = "algebraic-gcd"
+    supports_arbitrary_complex = False
+
+    _ZERO = DOmega.zero()
+    _ONE = DOmega.one()
+
+    @property
+    def zero(self) -> DOmega:
+        return self._ZERO
+
+    @property
+    def one(self) -> DOmega:
+        return self._ONE
+
+    def add(self, left: DOmega, right: DOmega) -> DOmega:
+        return left + right
+
+    def mul(self, left: DOmega, right: DOmega) -> DOmega:
+        if left.is_zero() or right.is_zero():
+            return self._ZERO
+        if left.is_one():
+            return right
+        if right.is_one():
+            return left
+        return left * right
+
+    def neg(self, value: DOmega) -> DOmega:
+        return -value
+
+    def conj(self, value: DOmega) -> DOmega:
+        return value.conj()
+
+    def is_zero(self, value: DOmega) -> bool:
+        return value.is_zero()
+
+    def is_one(self, value: DOmega) -> bool:
+        return value.is_one()
+
+    def key(self, value: DOmega) -> Tuple[int, ...]:
+        return value.key()
+
+    def from_domega(self, value: DOmega) -> DOmega:
+        return value
+
+    def from_complex(self, value: complex) -> DOmega:
+        raise DDError(
+            "the algebraic representation cannot import arbitrary complex "
+            "values; approximate the gate with Clifford+T first (repro.approx)"
+        )
+
+    def to_complex(self, value: DOmega) -> complex:
+        return value.to_complex()
+
+    def normalize(self, weights: Tuple[DOmega, ...]) -> Tuple[DOmega, Tuple[DOmega, ...]]:
+        nonzero = [weight for weight in weights if not weight.is_zero()]
+        if not nonzero:
+            raise DDError("normalize called on all-zero weights")
+        divisor = DOmega.gcd(nonzero)
+        pivot = next(weight for weight in weights if not weight.is_zero())
+        # Algorithm 3 lines 5-10: adjust the GCD by a unit so the leftmost
+        # non-zero weight becomes its canonical associate.
+        pivot_quotient = pivot.exact_divide(divisor)
+        canonical, unit = pivot_quotient.canonical_associate()
+        eta = divisor * unit
+        unit_inverse = unit.unit_inverse()
+        normalized = []
+        for weight in weights:
+            if weight.is_zero():
+                normalized.append(self._ZERO)
+            else:
+                normalized.append(weight.exact_divide(divisor) * unit_inverse)
+        return (eta, tuple(normalized))
+
+    def bit_width(self, value: DOmega) -> int:
+        return value.max_bit_width()

@@ -1,0 +1,82 @@
+"""Hash-consing of QMDD nodes (the *unique table*).
+
+The unique table guarantees that two structurally identical nodes (same
+level, same children, same canonical edge-weight keys) are the *same*
+Python object.  Together with edge-weight normalisation this makes the
+QMDD a canonical representation (paper Section II-B): equality of
+(sub-)matrices reduces to pointer equality of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.dd.edge import Edge, Node
+
+__all__ = ["UniqueTable"]
+
+
+class UniqueTable:
+    """Interning table for nodes of one arity (vector or matrix).
+
+    ``uid_source`` is a callable yielding fresh node uids; a manager
+    passes the *same* source to its vector and matrix tables so that
+    uids are globally unique -- compute-table keys built from uids
+    would otherwise collide across arities.
+    """
+
+    def __init__(self, uid_source=None) -> None:
+        self._table: Dict[Tuple, Node] = {}
+        if uid_source is None:
+            from itertools import count
+
+            uid_source = count(1).__next__  # 0 is the terminal
+        self._next_uid = uid_source
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get_or_create(
+        self, level: int, edges: Tuple[Edge, ...], weight_keys: Tuple[Any, ...]
+    ) -> Node:
+        """Return the canonical node for ``(level, children)``.
+
+        ``weight_keys`` must be the canonical hashable keys of the edge
+        weights (as provided by the active number system); the children
+        node identities are taken from their stable ``uid``.
+        """
+        key = (level, tuple(edge.node.uid for edge in edges), weight_keys)
+        node = self._table.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = Node(self._next_uid(), level, edges)
+        self._table[key] = node
+        return node
+
+    def clear(self) -> None:
+        """Drop all interned nodes (invalidates outstanding edges)."""
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def retain(self, live_uids) -> int:
+        """Garbage-collect: keep only nodes whose uid is in ``live_uids``.
+
+        Returns the number of entries dropped.  Outstanding edges to
+        dropped nodes stay *valid* (the node objects live on through
+        Python references) but will re-intern as fresh nodes if an
+        identical structure is built again -- so callers must only
+        retain uid sets closed under reachability (the manager's
+        ``prune`` computes that closure).
+        """
+        dead = [key for key, node in self._table.items() if node.uid not in live_uids]
+        for key in dead:
+            del self._table[key]
+        return len(dead)
+
+    def statistics(self) -> Dict[str, int]:
+        return {"size": len(self._table), "hits": self.hits, "misses": self.misses}

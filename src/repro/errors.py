@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that
+callers can catch everything raised by this package with a single
+``except`` clause while still being able to distinguish the individual
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class RingError(ReproError):
+    """Base class for errors in the exact-arithmetic ring layer."""
+
+
+class InexactDivisionError(RingError):
+    """Raised when an exact ring division leaves the ring.
+
+    For example dividing ``1`` by ``3`` inside ``D[omega]``: odd integers
+    greater than one have no multiplicative inverse in the ring of dyadic
+    cyclotomic integers (paper, Section IV-B, issue 2).
+    """
+
+
+class ZeroDivisionRingError(RingError):
+    """Raised when dividing by the ring's zero element."""
+
+
+class NonCanonicalError(RingError):
+    """Raised when an internal canonical-form invariant is violated.
+
+    This error indicates a bug in the library itself (canonicalisation is
+    applied automatically by all constructors); it is surfaced as a
+    distinct type so property-based tests can assert on it.
+    """
+
+
+class DDError(ReproError):
+    """Base class for decision-diagram structural errors."""
+
+
+class LevelMismatchError(DDError):
+    """Raised when combining decision diagrams over different qubit counts."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or gate applications."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed (e.g. collapsed state)."""
+
+
+class ApproximationError(ReproError):
+    """Raised when a Clifford+T approximation cannot reach the target."""

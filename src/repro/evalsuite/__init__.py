@@ -1,0 +1,64 @@
+"""Evaluation harness regenerating the paper's figures (Section V)."""
+
+from repro.evalsuite.ablation import AblationRow, run_normalization_ablation
+from repro.evalsuite.experiments import (
+    fig2_gse_size,
+    fig3_grover,
+    fig4_bwt,
+    fig5_gse,
+    shape_checks,
+)
+from repro.evalsuite.reporting import (
+    format_table,
+    render_series,
+    render_summary,
+    sample_indices,
+)
+from repro.evalsuite.budget import BudgetRow, approximation_budget_sweep
+from repro.evalsuite.instability import InstabilityReport, analyze_error_series
+from repro.evalsuite.precision import PrecisionRow, precision_floor_experiment
+from repro.evalsuite.scaling import ScalingRow, grover_scaling
+from repro.evalsuite.verification_study import (
+    VerificationRow,
+    make_pairs,
+    verification_reliability,
+)
+from repro.evalsuite.tradeoff import DEFAULT_EPSILONS, TradeoffResult, run_tradeoff
+from repro.evalsuite.tuning import (
+    TuningReport,
+    TuningTrial,
+    error_growth,
+    tune_epsilon,
+)
+
+__all__ = [
+    "BudgetRow",
+    "InstabilityReport",
+    "PrecisionRow",
+    "ScalingRow",
+    "VerificationRow",
+    "analyze_error_series",
+    "approximation_budget_sweep",
+    "make_pairs",
+    "verification_reliability",
+    "precision_floor_experiment",
+    "TuningReport",
+    "TuningTrial",
+    "error_growth",
+    "grover_scaling",
+    "tune_epsilon",
+    "AblationRow",
+    "DEFAULT_EPSILONS",
+    "TradeoffResult",
+    "fig2_gse_size",
+    "fig3_grover",
+    "fig4_bwt",
+    "fig5_gse",
+    "format_table",
+    "render_series",
+    "render_summary",
+    "run_normalization_ablation",
+    "run_tradeoff",
+    "sample_indices",
+    "shape_checks",
+]

@@ -1,0 +1,176 @@
+r"""Per-figure experiment drivers (paper Section V).
+
+Each ``fig*`` function reproduces one figure of the paper's evaluation
+with laptop-scale default parameters (DESIGN.md Section 3: the paper
+used 15-qubit Grover on a 3.8 GHz C implementation; pure Python keeps
+the exponential ``eps = 0`` runs feasible at smaller widths without
+changing the qualitative shapes).  ``scale="paper"`` selects the
+original sizes for users with time to spare.
+
+Every driver returns a
+:class:`~repro.evalsuite.tradeoff.TradeoffResult`;
+:func:`shape_checks` distils the paper's qualitative claims into named
+booleans, which the benchmark harness prints and the integration tests
+assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.algorithms.bwt import bwt_circuit
+from repro.algorithms.grover import grover_circuit
+from repro.algorithms.gse import gse_circuit
+from repro.evalsuite.tradeoff import DEFAULT_EPSILONS, TradeoffResult, run_tradeoff
+
+__all__ = [
+    "fig2_gse_size",
+    "fig3_grover",
+    "fig4_bwt",
+    "fig5_gse",
+    "shape_checks",
+]
+
+#: Fig. 2 uses its own epsilon set (size-only experiment).
+FIG2_EPSILONS: Tuple[float, ...] = (0.0, 1e-10, 1e-7, 1e-4, 1e-3)
+
+
+def fig3_grover(
+    num_qubits: int = 7,
+    marked: Optional[int] = None,
+    iterations: Optional[int] = None,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    scale: str = "default",
+) -> TradeoffResult:
+    """Fig. 3: Grover's algorithm -- size / error / run-time per gate."""
+    if scale == "paper":
+        num_qubits = 15
+    if marked is None:
+        marked = (1 << num_qubits) * 2 // 3  # arbitrary fixed element
+    circuit = grover_circuit(num_qubits, marked, iterations=iterations)
+    return run_tradeoff(circuit, epsilons=epsilons)
+
+
+def fig4_bwt(
+    depth: int = 2,
+    steps: int = 6,
+    seed: int = 0,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    scale: str = "default",
+) -> TradeoffResult:
+    """Fig. 4: the Binary Welded Tree walk."""
+    if scale == "paper":
+        depth, steps = 4, 20
+    circuit = bwt_circuit(depth=depth, steps=steps, seed=seed)
+    return run_tradeoff(circuit, epsilons=epsilons)
+
+
+def fig5_gse(
+    num_sites: int = 3,
+    precision_bits: int = 3,
+    time: float = 0.5,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    max_words: int = 8000,
+    scale: str = "default",
+) -> TradeoffResult:
+    """Fig. 5: GSE (Clifford+T compiled) -- includes the bit-width
+    series explaining the algebraic overhead (Section V-B)."""
+    if scale == "paper":
+        num_sites, precision_bits = 4, 5
+    circuit = gse_circuit(
+        num_sites=num_sites,
+        precision_bits=precision_bits,
+        time=time,
+        max_words=max_words,
+    )
+    return run_tradeoff(circuit, epsilons=epsilons, record_bit_widths=True)
+
+
+def fig2_gse_size(
+    num_sites: int = 3,
+    precision_bits: int = 3,
+    time: float = 0.5,
+    epsilons: Sequence[float] = FIG2_EPSILONS,
+    max_words: int = 8000,
+    scale: str = "default",
+) -> TradeoffResult:
+    """Fig. 2: QMDD size while simulating GSE, per tolerance value.
+
+    A size-only experiment (no error column), highlighting the two
+    extremes the paper calls out: ``eps = 0`` large but maximally
+    precise, ``eps = 1e-3`` collapsing to the all-zero vector.
+    """
+    if scale == "paper":
+        num_sites, precision_bits = 4, 5
+    circuit = gse_circuit(
+        num_sites=num_sites,
+        precision_bits=precision_bits,
+        time=time,
+        max_words=max_words,
+    )
+    return run_tradeoff(circuit, epsilons=epsilons, compute_errors=True)
+
+
+def shape_checks(result: TradeoffResult) -> Dict[str, bool]:
+    """The paper's qualitative claims as named booleans.
+
+    Only checks applicable to the present configurations are emitted:
+
+    ``high_accuracy_is_largest``
+        the ``eps = 0`` DD is at least as large (peak) as every
+        moderate-accuracy numeric DD (Figs. 3a/4a/5a);
+    ``algebraic_not_larger_than_eps0``
+        the algebraic DD never exceeds the ``eps = 0`` peak size --
+        exact redundancy detection can only help compactness;
+    ``large_eps_corrupts``
+        the coarsest tolerance yields a grossly wrong result (error
+        above 0.5 or a zero-collapse; Fig. 3b "completely useless");
+    ``moderate_eps_accurate``
+        some intermediate tolerance stays accurate (error < 1e-4)
+        while being more compact than ``eps = 0``;
+    ``algebraic_exact``
+        the algebraic run never collapses and reports no error column
+        (it *is* the reference).
+    """
+    checks: Dict[str, bool] = {}
+    numeric_configs = [c for c in result.configurations() if c.startswith("eps=")]
+    if "eps=0" in result.traces:
+        eps0_peak = result.traces["eps=0"].peak_node_count
+        moderates = [
+            c for c in numeric_configs
+            if c not in ("eps=0", "eps=1e-20") and not result.final_zero.get(c, False)
+        ]
+        if moderates:
+            checks["high_accuracy_is_largest"] = all(
+                result.traces[c].peak_node_count <= eps0_peak for c in moderates
+            )
+        if "algebraic" in result.traces:
+            checks["algebraic_not_larger_than_eps0"] = (
+                result.traces["algebraic"].peak_node_count <= eps0_peak
+            )
+    coarse = [c for c in numeric_configs if _eps_of(c) >= 1e-5]
+    if coarse:
+        checks["large_eps_corrupts"] = any(
+            result.final_zero.get(c, False) or _final_error(result, c) > 0.5
+            for c in coarse
+        )
+    fine = [c for c in numeric_configs if 0.0 < _eps_of(c) <= 1e-10]
+    if fine and "eps=0" in result.traces:
+        checks["moderate_eps_accurate"] = any(
+            _final_error(result, c) < 1e-4
+            and result.traces[c].peak_node_count
+            <= result.traces["eps=0"].peak_node_count
+            for c in fine
+        )
+    if "algebraic" in result.traces:
+        checks["algebraic_exact"] = not result.final_zero.get("algebraic", False)
+    return checks
+
+
+def _eps_of(config: str) -> float:
+    return float(config.split("=", 1)[1])
+
+
+def _final_error(result: TradeoffResult, config: str) -> float:
+    errors = [e for e in result.traces[config].errors() if e is not None]
+    return errors[-1] if errors else 0.0

@@ -1,0 +1,116 @@
+"""ASCII rendering of evaluation results.
+
+The benchmark harness prints the same *series* the paper plots
+(node count / error / run-time per applied gate, Figs. 2-5) as sampled
+tables, plus one summary row per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.evalsuite.tradeoff import TradeoffResult
+
+__all__ = ["format_table", "render_series", "render_summary", "sample_indices"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain monospace table with right-aligned numeric columns."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(_format_cell(cell))
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        value.ljust(width) if index == 0 else value.rjust(width)
+        for index, (value, width) in enumerate(zip([c[0] for c in columns], widths))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row_index in range(1, len(columns[0])):
+        lines.append(
+            "  ".join(
+                columns[col][row_index].ljust(width)
+                if col == 0
+                else columns[col][row_index].rjust(width)
+                for col, width in enumerate(widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) < 1e-3 or abs(cell) >= 1e5:
+            return f"{cell:.2e}"
+        return f"{cell:.4g}"
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def sample_indices(length: int, samples: int) -> List[int]:
+    """Evenly spaced gate indices (always including first and last)."""
+    if length <= 0:
+        return []
+    if length <= samples:
+        return list(range(length))
+    step = (length - 1) / (samples - 1)
+    return sorted({round(index * step) for index in range(samples)})
+
+
+def render_series(
+    result: TradeoffResult,
+    metric: str = "nodes",
+    samples: int = 10,
+) -> str:
+    """Render one figure panel: the per-gate series, sampled.
+
+    ``metric`` is ``nodes`` (Figs. 2/3a/4a/5a), ``error`` (3b/4b/5b),
+    ``seconds`` (3c/4c/5c) or ``bits`` (the Section V-B analysis).
+    """
+    indices = sample_indices(result.num_gates, samples)
+    headers = ["config"] + [f"g{i}" for i in indices]
+    rows = []
+    for config in result.configurations():
+        if metric == "nodes":
+            series: Sequence[object] = result.node_series(config)
+        elif metric == "error":
+            series = result.error_series(config)
+        elif metric == "seconds":
+            series = result.runtime_series(config)
+        elif metric == "bits":
+            series = result.bit_width_series(config)
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        if not any(value not in (None, 0) for value in series):
+            continue
+        rows.append([config] + [series[i] if i < len(series) else None for i in indices])
+    title = {
+        "nodes": "QMDD size (nodes) per gate",
+        "error": "error ||v_num/|v_num| - v_alg|| per gate",
+        "seconds": "cumulative run-time (s) per gate",
+        "bits": "max integer bit-width per gate",
+    }[metric]
+    return f"{result.circuit_name}: {title}\n" + format_table(headers, rows)
+
+
+def render_summary(result: TradeoffResult) -> str:
+    """The per-configuration summary table."""
+    headers = [
+        "config",
+        "final_nodes",
+        "peak_nodes",
+        "seconds",
+        "final_error",
+        "max_error",
+        "zero_collapse",
+        "max_bit_width",
+    ]
+    rows = [[row[h] for h in headers] for row in result.summary_rows()]
+    return f"{result.circuit_name}: summary\n" + format_table(headers, rows)

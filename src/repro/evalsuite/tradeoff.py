@@ -1,0 +1,166 @@
+r"""The accuracy-vs-compactness experiment runner (paper Section V-A).
+
+For one benchmark circuit, :func:`run_tradeoff` simulates the same gate
+sequence under
+
+* the numerical representation for a sweep of tolerance values ``eps``
+  (the paper uses ``0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3``), and
+* the proposed algebraic representation(s),
+
+recording per gate: the QMDD node count (compactness), the cumulative
+CPU time, and -- for the numerical runs -- the deviation from the exact
+algebraic state per the paper's footnote-8 metric.  These are exactly
+the three panels of Figs. 3-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.dd.edge import Edge
+from repro.dd.manager import (
+    DDManager,
+    algebraic_gcd_manager,
+    algebraic_manager,
+    numeric_manager,
+)
+from repro.sim.accuracy import state_error
+from repro.sim.simulator import Simulator
+from repro.sim.trace import SimulationTrace
+
+__all__ = ["TradeoffResult", "run_tradeoff", "DEFAULT_EPSILONS"]
+
+#: The tolerance sweep of the paper's Figs. 3-5.
+DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3)
+
+
+@dataclass
+class TradeoffResult:
+    """All traces of one trade-off experiment, keyed by configuration.
+
+    Configuration names: ``eps=<value>`` for numerical runs,
+    ``algebraic`` (Q[omega], Algorithm 2) and ``algebraic-gcd``
+    (D[omega] GCDs, Algorithm 3) for the exact ones.
+    """
+
+    circuit_name: str
+    num_qubits: int
+    num_gates: int
+    traces: Dict[str, SimulationTrace] = field(default_factory=dict)
+    final_zero: Dict[str, bool] = field(default_factory=dict)
+
+    def configurations(self) -> List[str]:
+        return list(self.traces)
+
+    def node_series(self, config: str) -> List[int]:
+        return self.traces[config].node_counts()
+
+    def error_series(self, config: str) -> List[Optional[float]]:
+        return self.traces[config].errors()
+
+    def runtime_series(self, config: str) -> List[float]:
+        return [step.cumulative_seconds for step in self.traces[config].steps]
+
+    def bit_width_series(self, config: str) -> List[int]:
+        return [step.max_bit_width for step in self.traces[config].steps]
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per configuration: the quantities the paper discusses."""
+        rows = []
+        for config, trace in self.traces.items():
+            errors = [e for e in trace.errors() if e is not None]
+            rows.append(
+                {
+                    "config": config,
+                    "final_nodes": trace.final_node_count,
+                    "peak_nodes": trace.peak_node_count,
+                    "seconds": round(trace.total_seconds, 4),
+                    "final_error": errors[-1] if errors else 0.0,
+                    "max_error": max(errors) if errors else 0.0,
+                    "zero_collapse": self.final_zero.get(config, False),
+                    "max_bit_width": max(
+                        (s.max_bit_width for s in trace.steps), default=0
+                    ),
+                }
+            )
+        return rows
+
+
+def run_tradeoff(
+    circuit: Circuit,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    include_algebraic: bool = True,
+    include_gcd: bool = False,
+    compute_errors: bool = True,
+    record_bit_widths: bool = False,
+    numeric_normalization: str = "leftmost",
+    max_dense_qubits: int = 16,
+) -> TradeoffResult:
+    """Run the full sweep on one circuit.
+
+    ``compute_errors`` needs the dense statevectors (bounded by
+    ``max_dense_qubits``); disable it for size-only experiments like
+    Fig. 2.  ``include_gcd`` adds the (slower) Algorithm-3 run used by
+    the normalisation ablation.
+    """
+    result = TradeoffResult(
+        circuit_name=circuit.name,
+        num_qubits=circuit.num_qubits,
+        num_gates=len(circuit),
+    )
+    want_errors = compute_errors and circuit.num_qubits <= max_dense_qubits
+
+    algebraic_states: List[Edge] = []
+    algebraic_mgr: Optional[DDManager] = None
+    if include_algebraic:
+        algebraic_mgr = algebraic_manager(circuit.num_qubits)
+        simulator = Simulator(algebraic_mgr, record_bit_widths=record_bit_widths)
+        callback = (lambda _i, s: algebraic_states.append(s)) if want_errors else None
+        run = simulator.run(circuit, step_callback=callback)
+        result.traces["algebraic"] = run.trace
+        result.final_zero["algebraic"] = run.is_zero_state
+
+    if include_gcd:
+        gcd_mgr = algebraic_gcd_manager(circuit.num_qubits)
+        run = Simulator(gcd_mgr, record_bit_widths=record_bit_widths).run(circuit)
+        result.traces["algebraic-gcd"] = run.trace
+        result.final_zero["algebraic-gcd"] = run.is_zero_state
+
+    numeric_states: Dict[str, List[Edge]] = {}
+    numeric_mgrs: Dict[str, DDManager] = {}
+    for eps in epsilons:
+        config = f"eps={eps:g}"
+        manager = numeric_manager(
+            circuit.num_qubits, eps=eps, normalization=numeric_normalization
+        )
+        numeric_mgrs[config] = manager
+        states: List[Edge] = []
+        callback = (lambda _i, s, _states=states: _states.append(s)) if want_errors else None
+        run = Simulator(manager).run(circuit, step_callback=callback)
+        result.traces[config] = run.trace
+        result.final_zero[config] = run.is_zero_state
+        numeric_states[config] = states
+
+    if want_errors and include_algebraic:
+        _fill_errors(result, algebraic_mgr, algebraic_states, numeric_mgrs, numeric_states)
+    return result
+
+
+def _fill_errors(
+    result: TradeoffResult,
+    algebraic_mgr: DDManager,
+    algebraic_states: List[Edge],
+    numeric_mgrs: Dict[str, DDManager],
+    numeric_states: Dict[str, List[Edge]],
+) -> None:
+    """Per-gate footnote-8 errors, streamed step by step to bound memory."""
+    per_config_errors: Dict[str, List[float]] = {config: [] for config in numeric_states}
+    for step_index, algebraic_state in enumerate(algebraic_states):
+        reference = algebraic_mgr.to_statevector(algebraic_state)
+        for config, states in numeric_states.items():
+            numeric_vec = numeric_mgrs[config].to_statevector(states[step_index])
+            per_config_errors[config].append(state_error(numeric_vec, reference))
+    for config, errors in per_config_errors.items():
+        result.traces[config] = result.traces[config].with_errors(errors)

@@ -1,0 +1,140 @@
+r"""Quantifying the cost of tolerance fine-tuning (paper Sections I/III).
+
+The paper argues that with numerical QMDDs "an application-specific
+trade-off between accuracy and compactness needs to be conducted ...
+[requiring] a time-consuming fine-tuning of the corresponding
+parameters ... on a case-by-case basis", and that "it is not guaranteed
+that the desired accuracy or compactness can be achieved at all".  This
+module turns that argument into a measurable experiment:
+
+* :func:`tune_epsilon` plays the engineer: sweep a tolerance grid,
+  fully simulating the workload for each candidate, until one meets
+  both an accuracy target and a compactness budget -- and report how
+  many full simulations (and how much CPU time) the search consumed,
+  or that *no* tolerance works;
+* :func:`error_growth` fits the per-gate error series, checking the
+  paper's Section V-A observation that for sufficiently small ``eps``
+  the error grows linearly with the number of applied gates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.sim.accuracy import state_error
+from repro.sim.simulator import Simulator
+
+__all__ = ["TuningTrial", "TuningReport", "tune_epsilon", "error_growth"]
+
+#: The default tolerance grid an engineer might scan (coarse to fine).
+DEFAULT_GRID: Tuple[float, ...] = (
+    1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12, 1e-14, 0.0
+)
+
+
+@dataclass(frozen=True)
+class TuningTrial:
+    """One full simulation at one candidate tolerance."""
+
+    eps: float
+    final_error: float
+    peak_nodes: int
+    seconds: float
+    meets_accuracy: bool
+    meets_compactness: bool
+
+
+@dataclass
+class TuningReport:
+    """Outcome of the tolerance search."""
+
+    circuit_name: str
+    error_target: float
+    node_budget: int
+    trials: List[TuningTrial] = field(default_factory=list)
+    chosen_eps: Optional[float] = None
+    total_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.chosen_eps is not None
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+def tune_epsilon(
+    circuit: Circuit,
+    error_target: float = 1e-6,
+    node_budget: Optional[int] = None,
+    grid: Sequence[float] = DEFAULT_GRID,
+    stop_at_first: bool = True,
+) -> TuningReport:
+    """Search the tolerance grid for an ``eps`` meeting both targets.
+
+    ``node_budget`` defaults to twice the algebraic peak size (i.e.
+    "be roughly as compact as the exact representation").  Every trial
+    is a *complete* simulation -- that is the point: the fine-tuning the
+    paper criticises costs one full run per candidate.
+    """
+    reference_manager = algebraic_manager(circuit.num_qubits)
+    reference_states: List[np.ndarray] = []
+    reference_run = Simulator(reference_manager).run(circuit)
+    reference_vector = reference_manager.to_statevector(reference_run.state)
+    if node_budget is None:
+        node_budget = 2 * reference_run.trace.peak_node_count
+    report = TuningReport(
+        circuit_name=circuit.name,
+        error_target=error_target,
+        node_budget=node_budget,
+    )
+    started = time.perf_counter()
+    for eps in grid:
+        manager = numeric_manager(circuit.num_qubits, eps=eps)
+        trial_started = time.perf_counter()
+        run = Simulator(manager).run(circuit)
+        seconds = time.perf_counter() - trial_started
+        error = state_error(manager.to_statevector(run.state), reference_vector)
+        trial = TuningTrial(
+            eps=eps,
+            final_error=error,
+            peak_nodes=run.trace.peak_node_count,
+            seconds=seconds,
+            meets_accuracy=error <= error_target,
+            meets_compactness=run.trace.peak_node_count <= node_budget,
+        )
+        report.trials.append(trial)
+        if trial.meets_accuracy and trial.meets_compactness:
+            report.chosen_eps = eps
+            if stop_at_first:
+                break
+    report.total_seconds = time.perf_counter() - started
+    return report
+
+
+def error_growth(errors: Sequence[Optional[float]]) -> Tuple[float, float]:
+    """Least-squares linear fit ``error ~ slope * gate_index``.
+
+    Returns ``(slope, r_squared)``.  Section V-A: "for a sufficiently
+    small tolerance value eps, the error indeed scales linearly with the
+    number of applied gates" -- a high ``r_squared`` with positive slope
+    on the ``eps = 0`` series confirms it.
+    """
+    cleaned = [(index, value) for index, value in enumerate(errors) if value is not None]
+    if len(cleaned) < 2:
+        raise ValueError("need at least two error samples")
+    xs = np.array([index for index, _ in cleaned], dtype=float)
+    ys = np.array([value for _, value in cleaned], dtype=float)
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predicted = slope * xs + intercept
+    total = float(np.sum((ys - ys.mean()) ** 2))
+    residual = float(np.sum((ys - predicted) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return (float(slope), r_squared)

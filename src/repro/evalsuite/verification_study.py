@@ -1,0 +1,177 @@
+r"""Verification reliability vs tolerance (paper Section V-B).
+
+"For instance, checking equivalence of two matrices or vectors then
+boils down to comparing the root nodes of the corresponding QMDDs" --
+but only the exact representation makes that comparison trustworthy.
+This study quantifies the verification failure modes of the numerical
+representation across a tolerance sweep:
+
+* **false negatives** -- genuinely equivalent circuit pairs (rewrite
+  identities) whose float DDs differ structurally because tiny rounding
+  deviations were not identified (small ``eps``);
+* **false positives** -- inequivalent pairs (a single injected phase
+  fault) that a coarse tolerance identifies anyway (large ``eps``).
+
+The algebraic representation is asserted to produce zero errors of
+either kind on the same pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import X
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.verify.equivalence import check_equivalence
+from repro.verify.faults import Fault, inject_fault
+
+__all__ = ["VerificationRow", "make_pairs", "verification_reliability"]
+
+
+@dataclass(frozen=True)
+class VerificationRow:
+    """Verification outcomes for one representation configuration.
+
+    ``subtle_false_positives`` counts inequivalent pairs that differ by
+    a rotation *below* the tolerance (``p(1e-4)``); it is ``None`` for
+    the algebraic row because sub-tolerance deviations cannot even be
+    expressed there -- exactly representable circuits differ by a
+    discrete minimum gap, which is the structural reason the exact
+    checker has no false-positive regime at all.
+    """
+
+    config: str
+    equivalent_pairs: int
+    false_negatives: int
+    inequivalent_pairs: int
+    false_positives: int
+    subtle_false_positives: object = None
+
+    @property
+    def is_sound_and_complete(self) -> bool:
+        return self.false_negatives == 0 and self.false_positives == 0
+
+
+def _rewrite_czs(circuit: Circuit) -> Circuit:
+    """A sound rewrite: every (multi-)controlled Z via H-conjugated X."""
+    rewritten = Circuit(circuit.num_qubits, name=f"{circuit.name}_rw")
+    for operation in circuit:
+        if operation.gate.name == "z" and operation.controls:
+            target = operation.target
+            rewritten.h(target)
+            rewritten.operations.append(
+                Operation(X, target, operation.controls, operation.negative_controls)
+            )
+            rewritten.h(target)
+        else:
+            rewritten.operations.append(operation)
+    return rewritten
+
+
+def make_pairs(
+    num_qubits: int = 4, num_pairs: int = 4, seed: int = 0
+) -> Tuple[List[Tuple[Circuit, Circuit]], List[Tuple[Circuit, Circuit]]]:
+    """Build equivalent and inequivalent circuit pairs for the study.
+
+    Equivalent pairs: a random Clifford+T circuit against its
+    CZ-rewritten form (exactly the same unitary, different gate lists).
+    Inequivalent pairs: the circuit against itself with one injected
+    ``T -> Tdg`` replacement fault (a 2e-1-scale deviation on one matrix
+    entry -- well above double rounding, so any *sound* checker must
+    catch it; coarse tolerances may not).
+    """
+    return _make_pairs_impl(num_qubits, num_pairs, seed)[:2]
+
+
+def _make_pairs_impl(num_qubits: int, num_pairs: int, seed: int):
+    rng = random.Random(seed)
+    equivalent, inequivalent, subtle = [], [], []
+    for index in range(num_pairs):
+        circuit = Circuit(num_qubits, name=f"pair{index}")
+        for _ in range(14):
+            kind = rng.randrange(6)
+            qubit = rng.randrange(num_qubits)
+            if kind == 0:
+                circuit.h(qubit)
+            elif kind == 1:
+                circuit.t(qubit)
+            elif kind == 2:
+                circuit.cz(qubit, (qubit + 1) % num_qubits)
+            elif kind == 3:
+                circuit.mcz([q for q in range(num_qubits) if q != qubit][:2], qubit)
+            elif kind == 4:
+                circuit.cx(qubit, (qubit + 1) % num_qubits)
+            else:
+                circuit.s(qubit)
+        equivalent.append((circuit, _rewrite_czs(circuit)))
+        t_positions = [
+            i for i, op in enumerate(circuit) if op.gate.name == "t"
+        ]
+        if t_positions:
+            faulty = inject_fault(circuit, Fault("replace", t_positions[0]))
+        else:
+            faulty = Circuit(num_qubits, name=f"{circuit.name}_faulty")
+            faulty.operations = list(circuit.operations)
+            faulty.tdg(0)
+        inequivalent.append((circuit, faulty))
+        # Subtle fault: a rotation far below coarse tolerances (and
+        # inexpressible in the exact representation -- by design).
+        whispered = Circuit(num_qubits, name=f"{circuit.name}_subtle")
+        whispered.operations = list(circuit.operations)
+        whispered.p(1e-4, rng.randrange(num_qubits))
+        subtle.append((circuit, whispered))
+    return equivalent, inequivalent, subtle
+
+
+def verification_reliability(
+    epsilons: Sequence[float] = (0.0, 1e-10, 1e-2),
+    num_qubits: int = 4,
+    num_pairs: int = 4,
+    seed: int = 0,
+) -> List[VerificationRow]:
+    """Run the study: one row per representation configuration."""
+    equivalent, inequivalent, subtle = _make_pairs_impl(num_qubits, num_pairs, seed)
+    rows: List[VerificationRow] = []
+
+    def evaluate(config: str, manager_factory, check_subtle: bool) -> VerificationRow:
+        false_negatives = sum(
+            1
+            for left, right in equivalent
+            if not check_equivalence(left, right, manager=manager_factory())
+        )
+        false_positives = sum(
+            1
+            for left, right in inequivalent
+            if check_equivalence(left, right, manager=manager_factory())
+        )
+        subtle_fp = None
+        if check_subtle:
+            subtle_fp = sum(
+                1
+                for left, right in subtle
+                if check_equivalence(left, right, manager=manager_factory())
+            )
+        return VerificationRow(
+            config=config,
+            equivalent_pairs=len(equivalent),
+            false_negatives=false_negatives,
+            inequivalent_pairs=len(inequivalent),
+            false_positives=false_positives,
+            subtle_false_positives=subtle_fp,
+        )
+
+    rows.append(
+        evaluate("algebraic", lambda: algebraic_manager(num_qubits), check_subtle=False)
+    )
+    for eps in epsilons:
+        rows.append(
+            evaluate(
+                f"eps={eps:g}",
+                lambda eps=eps: numeric_manager(num_qubits, eps=eps),
+                check_subtle=True,
+            )
+        )
+    return rows

@@ -1,0 +1,10 @@
+"""Floating-point complex number handling for *numerical* QMDDs.
+
+This package models the state of the art the paper critiques: IEEE-754
+doubles with a tolerance-based identification table
+(:class:`~repro.numeric.complex_table.ComplexTable`).
+"""
+
+from repro.numeric.complex_table import ComplexEntry, ComplexTable
+
+__all__ = ["ComplexEntry", "ComplexTable"]

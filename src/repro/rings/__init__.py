@@ -1,0 +1,36 @@
+r"""Exact algebraic number systems for quantum decision diagrams.
+
+The tower implemented here (paper, Section IV):
+
+===========================  =============================================
+:class:`~repro.rings.zomega.ZOmega`    cyclotomic integers ``Z[omega]``
+:class:`~repro.rings.zsqrt2.ZSqrt2`    real quadratic integers ``Z[sqrt2]``
+:class:`~repro.rings.dyadic.Dyadic`    dyadic fractions ``D``
+:class:`~repro.rings.domega.DOmega`    dyadic cyclotomics ``D[omega]`` =
+                                       entries of exact Clifford+T unitaries
+:class:`~repro.rings.qomega.QOmega`    the field ``Q[omega]`` used by the
+                                       inverse-based normalisation scheme
+===========================  =============================================
+
+plus Euclidean division / GCD in ``Z[omega]``
+(:mod:`repro.rings.euclid`) underpinning the GCD normalisation scheme.
+"""
+
+from repro.rings.dyadic import Dyadic
+from repro.rings.domega import DOmega
+from repro.rings.euclid import euclidean_divmod, gcd_many, gcd_zomega
+from repro.rings.qomega import QOmega
+from repro.rings.zomega import ZOmega
+from repro.rings.zsqrt2 import ZSqrt2, unit_reduce
+
+__all__ = [
+    "Dyadic",
+    "DOmega",
+    "QOmega",
+    "ZOmega",
+    "ZSqrt2",
+    "euclidean_divmod",
+    "gcd_many",
+    "gcd_zomega",
+    "unit_reduce",
+]

@@ -1,0 +1,176 @@
+r"""Dyadic fractions :math:`\mathbb{D} = \{ a / 2^k \mid a, k \in \mathbb{Z}, k \ge 0 \}`.
+
+The paper builds its algebraic number system as the extension
+:math:`\mathbb{D}[\omega]` of the dyadic fractions (Section IV-A).  This
+module provides the base ring with a canonical form: ``a`` odd, or
+``(a, k) = (0, 0)`` for zero.  Dyadic fractions are exactly the binary
+floating-point-representable rationals with unbounded mantissa and
+exponent, which is why they mesh so naturally with quantum amplitudes
+produced by Clifford+T circuits.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple, Union
+
+from repro.errors import InexactDivisionError, ZeroDivisionRingError
+
+__all__ = ["Dyadic"]
+
+
+class Dyadic:
+    """A canonical dyadic fraction ``numerator / 2**exponent``.
+
+    Canonical form: ``numerator`` is odd (or the pair is ``(0, 0)``) and
+    ``exponent >= 0``.  Instances are immutable and hashable.
+    """
+
+    __slots__ = ("numerator", "exponent")
+
+    def __init__(self, numerator: int, exponent: int = 0) -> None:
+        if not isinstance(numerator, int) or not isinstance(exponent, int):
+            raise TypeError("Dyadic components must be int")
+        if numerator == 0:
+            numerator, exponent = 0, 0
+        else:
+            while numerator % 2 == 0 and exponent > 0:
+                numerator //= 2
+                exponent -= 1
+            if exponent < 0:
+                numerator <<= -exponent
+                exponent = 0
+        object.__setattr__(self, "numerator", numerator)
+        object.__setattr__(self, "exponent", exponent)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Dyadic instances are immutable")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Dyadic":
+        return cls(0, 0)
+
+    @classmethod
+    def one(cls) -> "Dyadic":
+        return cls(1, 0)
+
+    @classmethod
+    def from_int(cls, n: int) -> "Dyadic":
+        return cls(n, 0)
+
+    @classmethod
+    def from_fraction(cls, value: Fraction) -> "Dyadic":
+        """Convert an exact rational; raises if the denominator is not a power of two."""
+        denominator = value.denominator
+        exponent = denominator.bit_length() - 1
+        if 1 << exponent != denominator:
+            raise InexactDivisionError(f"{value} is not a dyadic fraction")
+        return cls(value.numerator, exponent)
+
+    # -- protocol ----------------------------------------------------------
+
+    def pair(self) -> Tuple[int, int]:
+        return (self.numerator, self.exponent)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = Dyadic(other, 0)
+        if not isinstance(other, Dyadic):
+            return NotImplemented
+        return self.pair() == other.pair()
+
+    def __hash__(self) -> int:
+        return hash(("Dyadic", self.numerator, self.exponent))
+
+    def __bool__(self) -> bool:
+        return self.numerator != 0
+
+    def is_zero(self) -> bool:
+        return self.numerator == 0
+
+    def __lt__(self, other: "Dyadic") -> bool:
+        return self.as_fraction() < other.as_fraction()
+
+    def __le__(self, other: "Dyadic") -> bool:
+        return self.as_fraction() <= other.as_fraction()
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Union["Dyadic", int]) -> "Dyadic":
+        if isinstance(other, int):
+            other = Dyadic(other, 0)
+        if not isinstance(other, Dyadic):
+            return NotImplemented
+        k = max(self.exponent, other.exponent)
+        numerator = (self.numerator << (k - self.exponent)) + (
+            other.numerator << (k - other.exponent)
+        )
+        return Dyadic(numerator, k)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Dyadic":
+        return Dyadic(-self.numerator, self.exponent)
+
+    def __sub__(self, other: Union["Dyadic", int]) -> "Dyadic":
+        if isinstance(other, int):
+            other = Dyadic(other, 0)
+        if not isinstance(other, Dyadic):
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: object) -> "Dyadic":
+        if isinstance(other, int):
+            return Dyadic(other, 0) - self
+        return NotImplemented
+
+    def __mul__(self, other: Union["Dyadic", int]) -> "Dyadic":
+        if isinstance(other, int):
+            other = Dyadic(other, 0)
+        if not isinstance(other, Dyadic):
+            return NotImplemented
+        return Dyadic(self.numerator * other.numerator, self.exponent + other.exponent)
+
+    __rmul__ = __mul__
+
+    def exact_divide(self, divisor: "Dyadic") -> "Dyadic":
+        """Exact division inside ``D``; only divisions by ``odd * 2^k``
+        with the odd part dividing our numerator succeed."""
+        if divisor.is_zero():
+            raise ZeroDivisionRingError("division by zero in D")
+        if self.is_zero():
+            return Dyadic.zero()
+        # Powers of two in the divisor are units of D; only the odd part
+        # of its numerator must divide ours exactly.
+        odd_part = divisor.numerator
+        two_adic = 0
+        while odd_part % 2 == 0:
+            odd_part //= 2
+            two_adic += 1
+        quotient, remainder = divmod(self.numerator, odd_part)
+        if remainder:
+            raise InexactDivisionError(f"{self} is not divisible by {divisor} in D")
+        return Dyadic(quotient, self.exponent - divisor.exponent + two_adic)
+
+    def __pow__(self, exponent: int) -> "Dyadic":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("exponent must be a non-negative integer")
+        return Dyadic(self.numerator**exponent, self.exponent * exponent)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def as_fraction(self) -> Fraction:
+        return Fraction(self.numerator, 1 << self.exponent)
+
+    def to_float(self) -> float:
+        return self.numerator / (1 << self.exponent)
+
+    def __repr__(self) -> str:
+        return f"Dyadic({self.numerator}, {self.exponent})"
+
+    def __str__(self) -> str:
+        if self.exponent == 0:
+            return str(self.numerator)
+        return f"{self.numerator}/2^{self.exponent}"

@@ -1,0 +1,102 @@
+r"""Euclidean division and greatest common divisors in :math:`\mathbb{Z}[\omega]`.
+
+The paper's second normalisation scheme (Algorithm 3) divides QMDD edge
+weights by a *greatest common divisor*, which requires
+:math:`\mathbb{Z}[\omega]` to be a Euclidean ring.  It is: the absolute
+field norm ``E`` (:meth:`repro.rings.zomega.ZOmega.euclidean_norm`) is a
+Euclidean function, with the quotient obtained by performing the
+division in :math:`\mathbb{Q}[\omega]` and rounding each coefficient to
+the nearest integer (paper, Section IV-B; the remainder then satisfies
+``E(r) <= (9/16) E(z2)``).
+
+The rounding quotient occasionally needs adjustment in corner cases, so
+:func:`euclidean_divmod` falls back to scanning the 3^4 nearest integer
+quotients; norm-Euclideanity of :math:`\mathbb{Q}(\zeta_8)` guarantees a
+remainder with strictly smaller norm exists.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Tuple
+
+from repro.errors import ZeroDivisionRingError
+from repro.rings.zomega import ZOmega
+
+__all__ = ["euclidean_divmod", "gcd_zomega", "gcd_many"]
+
+
+def _round_half_even(value: Fraction) -> int:
+    """Round an exact rational to the nearest integer (ties to even)."""
+    floor = value.numerator // value.denominator
+    remainder = value - floor
+    if remainder > Fraction(1, 2):
+        return floor + 1
+    if remainder < Fraction(1, 2):
+        return floor
+    return floor + (floor % 2)
+
+
+def _quotient_fractions(z1: ZOmega, z2: ZOmega) -> Tuple[Fraction, Fraction, Fraction, Fraction]:
+    """The exact coefficients of ``z1 / z2`` in ``Q[omega]``."""
+    u, v = z2.norm_zsqrt2()
+    numerator = z1 * z2.conj() * (ZOmega.from_int(u) - ZOmega.sqrt2() * v)
+    denominator = u * u - 2 * v * v
+    return tuple(Fraction(coefficient, denominator) for coefficient in numerator.coefficients())
+
+
+def euclidean_divmod(z1: ZOmega, z2: ZOmega) -> Tuple[ZOmega, ZOmega]:
+    """Division with remainder: ``z1 = q * z2 + r`` with ``E(r) < E(z2)``.
+
+    Raises :class:`ZeroDivisionRingError` for a zero divisor.
+    """
+    if z2.is_zero():
+        raise ZeroDivisionRingError("Euclidean division by zero in Z[omega]")
+    exact = _quotient_fractions(z1, z2)
+    rounded = [_round_half_even(coefficient) for coefficient in exact]
+    quotient = ZOmega(*rounded)
+    remainder = z1 - quotient * z2
+    bound = z2.euclidean_norm()
+    if remainder.euclidean_norm() < bound:
+        return (quotient, remainder)
+    # Nearest-integer rounding can fail on the boundary of the fundamental
+    # domain; scan the neighbouring lattice quotients (norm-Euclideanity
+    # guarantees a suitable one exists).
+    best: Tuple[ZOmega, ZOmega] = (quotient, remainder)
+    best_norm = remainder.euclidean_norm()
+    for offsets in product((-1, 0, 1), repeat=4):
+        candidate = ZOmega(*(base + offset for base, offset in zip(rounded, offsets)))
+        candidate_remainder = z1 - candidate * z2
+        candidate_norm = candidate_remainder.euclidean_norm()
+        if candidate_norm < best_norm:
+            best = (candidate, candidate_remainder)
+            best_norm = candidate_norm
+            if best_norm < bound:
+                break
+    if best_norm >= bound:  # pragma: no cover - mathematically unreachable
+        raise ArithmeticError(f"Euclidean step failed for {z1!r} / {z2!r}")
+    return best
+
+
+def gcd_zomega(z1: ZOmega, z2: ZOmega) -> ZOmega:
+    """A greatest common divisor of two ``Z[omega]`` elements.
+
+    GCDs are only defined up to multiplication by units; the caller
+    (Algorithm 3's normalisation) applies its own unit-selection rules
+    afterwards.  ``gcd(0, 0) = 0`` by convention.
+    """
+    while not z2.is_zero():
+        _, remainder = euclidean_divmod(z1, z2)
+        z1, z2 = z2, remainder
+    return z1
+
+
+def gcd_many(*elements: ZOmega) -> ZOmega:
+    """Iterated GCD of any number of elements (``0`` if all are zero)."""
+    result = ZOmega.zero()
+    for element in elements:
+        result = gcd_zomega(result, element)
+        if result.is_unit():
+            break
+    return result

@@ -1,0 +1,167 @@
+r"""Exact 2x2 matrices over :math:`\mathbb{D}[\omega]`.
+
+Clifford+T unitaries on one qubit are exactly the 2x2 unitaries with
+entries in :math:`\mathbb{D}[\omega]` (Giles/Selinger [8], as cited by
+the paper).  This module makes them first-class objects: exact
+multiplication, adjoints, determinants, unitarity checks and the
+*smallest denominator exponent* (sde) machinery on which exact
+synthesis (:mod:`repro.synth`) is built.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.errors import RingError
+from repro.rings.domega import DOmega
+
+__all__ = ["Matrix2"]
+
+
+class Matrix2:
+    """An immutable 2x2 matrix ``[[a, b], [c, d]]`` over ``D[omega]``."""
+
+    __slots__ = ("a", "b", "c", "d")
+
+    def __init__(self, a: DOmega, b: DOmega, c: DOmega, d: DOmega) -> None:
+        for entry in (a, b, c, d):
+            if not isinstance(entry, DOmega):
+                raise TypeError("Matrix2 entries must be DOmega values")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "d", d)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Matrix2 instances are immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "Matrix2":
+        return cls(DOmega.one(), DOmega.zero(), DOmega.zero(), DOmega.one())
+
+    @classmethod
+    def from_rows(cls, rows) -> "Matrix2":
+        (a, b), (c, d) = rows
+        return cls(a, b, c, d)
+
+    @classmethod
+    def hadamard(cls) -> "Matrix2":
+        s = DOmega.one_over_sqrt2()
+        return cls(s, s, s, -s)
+
+    @classmethod
+    def t_gate(cls) -> "Matrix2":
+        return cls(DOmega.one(), DOmega.zero(), DOmega.zero(), DOmega.omega_power(1))
+
+    @classmethod
+    def s_gate(cls) -> "Matrix2":
+        return cls(DOmega.one(), DOmega.zero(), DOmega.zero(), DOmega.imag_unit())
+
+    @classmethod
+    def x_gate(cls) -> "Matrix2":
+        return cls(DOmega.zero(), DOmega.one(), DOmega.one(), DOmega.zero())
+
+    @classmethod
+    def omega_phase(cls, exponent: int) -> "Matrix2":
+        """The global phase matrix ``omega^exponent * I``."""
+        phase = DOmega.omega_power(exponent)
+        return cls(phase, DOmega.zero(), DOmega.zero(), phase)
+
+    # -- protocol ------------------------------------------------------------
+
+    def entries(self) -> Tuple[DOmega, DOmega, DOmega, DOmega]:
+        return (self.a, self.b, self.c, self.d)
+
+    def __iter__(self) -> Iterator[DOmega]:
+        return iter(self.entries())
+
+    def key(self) -> Tuple:
+        """Canonical hashable key (entries are canonical already)."""
+        return tuple(entry.key() for entry in self.entries())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix2):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(("Matrix2",) + self.key())
+
+    # -- algebra -----------------------------------------------------------------
+
+    def __matmul__(self, other: "Matrix2") -> "Matrix2":
+        if not isinstance(other, Matrix2):
+            return NotImplemented
+        return Matrix2(
+            self.a * other.a + self.b * other.c,
+            self.a * other.b + self.b * other.d,
+            self.c * other.a + self.d * other.c,
+            self.c * other.b + self.d * other.d,
+        )
+
+    def __mul__(self, scalar: DOmega) -> "Matrix2":
+        if not isinstance(scalar, DOmega):
+            return NotImplemented
+        return Matrix2(self.a * scalar, self.b * scalar, self.c * scalar, self.d * scalar)
+
+    __rmul__ = __mul__
+
+    def dagger(self) -> "Matrix2":
+        """The conjugate transpose."""
+        return Matrix2(self.a.conj(), self.c.conj(), self.b.conj(), self.d.conj())
+
+    def det(self) -> DOmega:
+        return self.a * self.d - self.b * self.c
+
+    def is_unitary(self) -> bool:
+        """Exact unitarity: ``U U^dagger == I`` in the ring."""
+        return self @ self.dagger() == Matrix2.identity()
+
+    def power(self, exponent: int) -> "Matrix2":
+        if exponent < 0:
+            raise RingError("negative matrix powers are not supported; use dagger()")
+        result = Matrix2.identity()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result @ base
+            base = base @ base
+            exponent >>= 1
+        return result
+
+    # -- synthesis support --------------------------------------------------------
+
+    def column_sde(self, column: int = 0) -> int:
+        """The smallest denominator exponent of one column.
+
+        The minimal ``k >= 0`` such that ``sqrt2**k`` times the column
+        lies in ``Z[omega]^2`` -- the complexity measure driven to zero
+        by exact synthesis (paper [8]; our :mod:`repro.synth`).
+        """
+        if column == 0:
+            entries = (self.a, self.c)
+        elif column == 1:
+            entries = (self.b, self.d)
+        else:
+            raise ValueError("column must be 0 or 1")
+        return max(0, max(entry.k for entry in entries))
+
+    def sde(self) -> int:
+        """The matrix-level smallest denominator exponent."""
+        return max(0, max(entry.k for entry in self.entries()))
+
+    def max_bit_width(self) -> int:
+        return max(entry.max_bit_width() for entry in self.entries())
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def to_complex_tuple(self) -> Tuple[complex, complex, complex, complex]:
+        return tuple(entry.to_complex() for entry in self.entries())
+
+    def __repr__(self) -> str:
+        return f"Matrix2({self.a!r}, {self.b!r}, {self.c!r}, {self.d!r})"
+
+    def __str__(self) -> str:
+        return f"[[{self.a}, {self.b}], [{self.c}, {self.d}]]"

@@ -1,0 +1,20 @@
+"""Simulation engines: QMDD-based and dense-statevector reference."""
+
+from repro.sim.accuracy import state_error, trace_errors
+from repro.sim.measure import measure_probabilities, sample_counts
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.statevector import StatevectorSimulator, apply_operation
+from repro.sim.trace import SimulationStep, SimulationTrace
+
+__all__ = [
+    "SimulationResult",
+    "SimulationStep",
+    "SimulationTrace",
+    "Simulator",
+    "StatevectorSimulator",
+    "apply_operation",
+    "measure_probabilities",
+    "sample_counts",
+    "state_error",
+    "trace_errors",
+]

@@ -1,0 +1,57 @@
+r"""The paper's accuracy metric (footnote 8).
+
+To quantify the accuracy of a numerical simulation the paper computes
+the Euclidean norm of ``v_num - v_alg`` where ``v_alg`` is the exact
+algebraic result -- after rescaling ``v_num`` to unit norm, "since an
+error in the length of the vector can be fixed easily (except for a
+0-vector)".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dd.edge import Edge
+from repro.dd.manager import DDManager
+
+__all__ = ["state_error", "trace_errors"]
+
+
+def state_error(v_num: np.ndarray, v_alg: np.ndarray) -> float:
+    """``|| v_num/||v_num|| - v_alg ||_2`` per the paper's footnote 8.
+
+    A collapsed (all-zero) numerical vector cannot be re-normalised; its
+    error is the distance of the zero vector from the exact result,
+    i.e. ``||v_alg||`` (= 1 for a valid quantum state) -- the "completely
+    useless result" case.
+    """
+    v_num = np.asarray(v_num, dtype=complex)
+    v_alg = np.asarray(v_alg, dtype=complex)
+    if v_num.shape != v_alg.shape:
+        raise ValueError("vectors must have identical shapes")
+    norm = np.linalg.norm(v_num)
+    if norm == 0.0:
+        return float(np.linalg.norm(v_alg))
+    # Also align the global phase: a simulator-global phase offset is as
+    # harmless as a length error, so compare after optimal phase match.
+    rescaled = v_num / norm
+    overlap = np.vdot(rescaled, v_alg)
+    if abs(overlap) > 1e-15:
+        rescaled = rescaled * (overlap / abs(overlap))
+    return float(np.linalg.norm(rescaled - v_alg))
+
+
+def trace_errors(
+    numeric_manager: DDManager,
+    numeric_states: Sequence[Edge],
+    exact_vectors: Sequence[np.ndarray],
+) -> List[float]:
+    """Per-gate error series for an entire simulation run."""
+    if len(numeric_states) != len(exact_vectors):
+        raise ValueError("state and reference sequences must have equal length")
+    errors = []
+    for state, reference in zip(numeric_states, exact_vectors):
+        errors.append(state_error(numeric_manager.to_statevector(state), reference))
+    return errors

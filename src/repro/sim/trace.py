@@ -1,0 +1,72 @@
+"""Per-gate simulation trace records.
+
+The paper's evaluation (Figs. 2-5) plots, per applied gate: the QMDD
+node count, the accumulated numerical error and the cumulative run-time.
+:class:`SimulationStep` captures exactly those quantities (plus the
+bit-width metric explaining the algebraic GSE overhead of Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["SimulationStep", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class SimulationStep:
+    """Metrics snapshot after applying one gate."""
+
+    gate_index: int
+    gate_name: str
+    node_count: int
+    cumulative_seconds: float
+    max_bit_width: int = 0
+    error: Optional[float] = None  # filled in by the accuracy evaluation
+
+
+@dataclass
+class SimulationTrace:
+    """The full per-gate history of one simulation run."""
+
+    system_name: str
+    circuit_name: str
+    num_qubits: int
+    steps: List[SimulationStep] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.steps[-1].cumulative_seconds if self.steps else 0.0
+
+    @property
+    def peak_node_count(self) -> int:
+        return max((step.node_count for step in self.steps), default=0)
+
+    @property
+    def final_node_count(self) -> int:
+        return self.steps[-1].node_count if self.steps else 0
+
+    def node_counts(self) -> List[int]:
+        return [step.node_count for step in self.steps]
+
+    def errors(self) -> List[Optional[float]]:
+        return [step.error for step in self.steps]
+
+    def with_errors(self, errors: List[float]) -> "SimulationTrace":
+        """A copy of the trace with the error column filled in."""
+        if len(errors) != len(self.steps):
+            raise ValueError("error list length must match the number of steps")
+        updated = SimulationTrace(self.system_name, self.circuit_name, self.num_qubits)
+        for step, error in zip(self.steps, errors):
+            updated.steps.append(
+                SimulationStep(
+                    gate_index=step.gate_index,
+                    gate_name=step.gate_name,
+                    node_count=step.node_count,
+                    cumulative_seconds=step.cumulative_seconds,
+                    max_bit_width=step.max_bit_width,
+                    error=error,
+                )
+            )
+        return updated

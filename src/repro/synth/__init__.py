@@ -1,0 +1,36 @@
+"""Exact Clifford+T synthesis (the constructive direction of [8]).
+
+* :func:`~repro.synth.exact.synthesize_exact` -- single-qubit ``{H, T}``
+  words via sde reduction with lookahead;
+* :func:`~repro.synth.multiqubit.synthesize_unitary` -- multi-qubit
+  Giles/Selinger column reduction into two-level operations, emitted as
+  multi-controlled gates;
+* :func:`~repro.synth.multiqubit.synthesize_from_dd` -- the same,
+  starting from a matrix decision diagram.
+"""
+
+from repro.synth.exact import SynthesisResult, synthesize_exact, word_to_matrix
+from repro.synth.multiqubit import (
+    exact_unitary_of_circuit,
+    is_exact_unitary,
+    synthesize_from_dd,
+    synthesize_unitary,
+)
+from repro.synth.stateprep import (
+    is_exact_unit_vector,
+    prepare_state,
+    prepare_state_from_dd,
+)
+
+__all__ = [
+    "SynthesisResult",
+    "exact_unitary_of_circuit",
+    "is_exact_unit_vector",
+    "is_exact_unitary",
+    "prepare_state",
+    "prepare_state_from_dd",
+    "synthesize_exact",
+    "synthesize_from_dd",
+    "synthesize_unitary",
+    "word_to_matrix",
+]

@@ -1,0 +1,94 @@
+r"""Exact state preparation for :math:`\mathbb{D}[\omega]` vectors.
+
+Given an exact unit vector (e.g. the amplitude list of a Clifford+T
+state), produce a circuit preparing it from ``|0...0>`` -- Giles and
+Selinger's column lemma applied once: reduce the vector to ``e_0`` by
+two-level operations ``L_k ... L_1 v = e_0``; then
+``v = L_1^dag ... L_k^dag e_0`` and the daggered fragments, in reverse,
+are the preparation circuit.
+
+Combined with the simulator this closes the loop for *states* just like
+:func:`repro.synth.multiqubit.synthesize_unitary` does for operators::
+
+    state DD -> exact amplitudes -> preparation circuit -> state DD
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.errors import RingError
+from repro.rings.domega import DOmega
+from repro.synth.multiqubit import _apply_operation_rows, _reduce_column
+
+__all__ = ["prepare_state", "prepare_state_from_dd", "is_exact_unit_vector"]
+
+
+def is_exact_unit_vector(amplitudes: Sequence[DOmega]) -> bool:
+    """Ring-exact check ``sum |a_i|^2 == 1``."""
+    total = DOmega.zero()
+    for amplitude in amplitudes:
+        total = total + amplitude.abs_squared()
+    return total == DOmega.one()
+
+
+def prepare_state(amplitudes: Sequence[DOmega], num_qubits: int) -> Circuit:
+    """Synthesise a preparation circuit for an exact state vector.
+
+    The returned circuit maps ``|0...0>`` to exactly the given
+    amplitudes (verified in the ring by the tests).  Raises
+    :class:`~repro.errors.RingError` for non-unit input.
+    """
+    size = 1 << num_qubits
+    if len(amplitudes) != size:
+        raise RingError(f"need {size} amplitudes for {num_qubits} qubits")
+    if not is_exact_unit_vector(amplitudes):
+        raise RingError("prepare_state requires an exact unit vector")
+    # Embed the vector as column 0 of a working grid; _reduce_column only
+    # ever reads and mixes rows of column 0 (the other columns just come
+    # along for the ride and are ignored).
+    grid: List[List[DOmega]] = [
+        [amplitudes[row] if col == 0 else DOmega.zero() for col in range(size)]
+        for row in range(size)
+    ]
+    fragments: List[Operation] = []
+
+    def apply_fragment(operations: List[Operation]) -> None:
+        for operation in operations:
+            _apply_operation_rows(grid, operation, num_qubits)
+        fragments.extend(operations)
+
+    _reduce_column(grid, 0, num_qubits, size, apply_fragment, max_sweeps=256)
+    # fragments reduce v to e_0 (= |0...0>); the preparation circuit is
+    # the daggered fragments in reverse order.
+    circuit = Circuit(num_qubits, name="state_preparation")
+    for operation in reversed(fragments):
+        circuit.operations.append(operation.dagger())
+    return circuit
+
+
+def prepare_state_from_dd(manager, state_edge) -> Circuit:
+    """Preparation circuit for a state held as a decision diagram.
+
+    Extracts the exact amplitudes from an algebraic manager's vector DD
+    and runs :func:`prepare_state`.  Requires all amplitudes to lie in
+    ``D[omega]`` (true for any state produced by Clifford+T simulation
+    from a basis state).
+    """
+    from repro.errors import InexactDivisionError
+
+    weights = manager.to_exact_amplitudes(state_edge)
+    amplitudes: List[DOmega] = []
+    for weight in weights:
+        if isinstance(weight, DOmega):
+            amplitudes.append(weight)
+        else:
+            try:
+                amplitudes.append(weight.to_domega())
+            except (AttributeError, InexactDivisionError) as error:
+                raise RingError(
+                    "state amplitudes are not in D[omega]; the state is "
+                    "not exactly Clifford+T-preparable"
+                ) from error
+    return prepare_state(amplitudes, manager.num_qubits)

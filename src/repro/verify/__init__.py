@@ -1,0 +1,27 @@
+"""DD-based circuit verification (exact O(1) equivalence checking)."""
+
+from repro.verify.equivalence import (
+    EquivalenceResult,
+    check_equivalence,
+    check_equivalence_miter,
+    check_state_equivalence,
+    find_counterexample,
+)
+from repro.verify.faults import (
+    Fault,
+    enumerate_single_faults,
+    inject_fault,
+    locate_fault,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "Fault",
+    "check_equivalence",
+    "check_equivalence_miter",
+    "check_state_equivalence",
+    "enumerate_single_faults",
+    "find_counterexample",
+    "inject_fault",
+    "locate_fault",
+]

@@ -1,0 +1,135 @@
+"""Tests for the Binary Welded Tree benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bwt import (
+    bwt_circuit,
+    bwt_register_sizes,
+    edge_colouring,
+    welded_tree_graph,
+)
+from repro.dd.manager import algebraic_manager
+from repro.errors import CircuitError
+from repro.sim.simulator import Simulator
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestGraphConstruction:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_vertex_count(self, depth):
+        graph, entrance, exit_vertex = welded_tree_graph(depth, seed=1)
+        expected = 2 * ((1 << (depth + 1)) - 1)
+        assert graph.number_of_nodes() == expected
+        assert entrance != exit_vertex
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_degrees(self, depth):
+        """Roots have degree 2, every other vertex degree 3."""
+        graph, entrance, exit_vertex = welded_tree_graph(depth, seed=2)
+        for vertex in graph.nodes:
+            degree = graph.degree(vertex)
+            if vertex in (entrance, exit_vertex):
+                assert degree == 2
+            else:
+                assert degree == 3
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_connected(self, depth, seed):
+        import networkx as nx
+
+        graph, _, _ = welded_tree_graph(depth, seed=seed)
+        assert nx.is_connected(graph)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_proper_edge_colouring(self, depth):
+        graph, _, _ = welded_tree_graph(depth, seed=3)
+        matchings = edge_colouring(graph)
+        assert sum(len(pairs) for pairs in matchings.values()) == graph.number_of_edges()
+        # edge_colouring raises internally if a class is not a matching;
+        # additionally check no vertex sees one colour twice.
+        for colour, pairs in matchings.items():
+            touched = [v for pair in pairs for v in pair]
+            assert len(touched) == len(set(touched))
+
+    def test_depth_validation(self):
+        with pytest.raises(CircuitError):
+            welded_tree_graph(0)
+
+    def test_deterministic_given_seed(self):
+        a = welded_tree_graph(2, seed=5)[0]
+        b = welded_tree_graph(2, seed=5)[0]
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestWalkCircuit:
+    def test_register_sizes(self):
+        vertex_bits, coin_bits, ancilla = bwt_register_sizes(2)
+        assert vertex_bits == 4  # 14 vertices need 4 bits
+        assert coin_bits == 2 and ancilla == 1
+
+    def test_circuit_is_exact(self):
+        """Paper Section V: BWT is exactly representable."""
+        assert bwt_circuit(depth=1, steps=2).is_exactly_representable
+
+    def test_walk_spreads_from_entrance(self):
+        """After one step the walker occupies the entrance's neighbours."""
+        circuit = bwt_circuit(depth=1, steps=1, seed=0)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        amplitudes = result.final_amplitudes()
+        graph, entrance, _ = welded_tree_graph(1, seed=0)
+        vertex_bits, _, _ = bwt_register_sizes(1)
+        shift = circuit.num_qubits - vertex_bits
+        occupied = {
+            index >> shift
+            for index, amplitude in enumerate(amplitudes)
+            if abs(amplitude) > 1e-12
+        }
+        allowed = set(graph.neighbors(entrance)) | {entrance}
+        assert occupied <= allowed
+        assert len(occupied) > 1  # the walk actually moved
+
+    def test_walk_preserves_norm(self):
+        circuit = bwt_circuit(depth=1, steps=3, seed=1)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        norm = result.manager.norm_squared(result.state)
+        assert result.manager.system.is_one(norm)
+
+    def test_walk_stays_on_graph_vertices(self):
+        """Amplitude never leaks to labels that are not graph vertices."""
+        depth, steps = 1, 4
+        circuit = bwt_circuit(depth=depth, steps=steps, seed=2)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        amplitudes = result.final_amplitudes()
+        graph, _, _ = welded_tree_graph(depth, seed=2)
+        vertex_bits, _, _ = bwt_register_sizes(depth)
+        shift = circuit.num_qubits - vertex_bits
+        for index, amplitude in enumerate(amplitudes):
+            if abs(amplitude) > 1e-12:
+                assert (index >> shift) in graph.nodes
+
+    def test_matches_dense_reference(self):
+        circuit = bwt_circuit(depth=1, steps=2, seed=3)
+        dd_result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        dense = StatevectorSimulator(circuit.num_qubits).run(circuit)
+        np.testing.assert_allclose(dd_result.final_amplitudes(), dense, atol=1e-9)
+
+    def test_flag_ancilla_restored(self):
+        """The flag ancilla must end every step in |0>."""
+        circuit = bwt_circuit(depth=1, steps=2, seed=4)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        amplitudes = result.final_amplitudes()
+        flag_bit = 0  # least significant qubit (last) is the flag
+        for index, amplitude in enumerate(amplitudes):
+            if abs(amplitude) > 1e-12:
+                assert not index & 1  # flag qubit is the last (LSB)
+
+    def test_steps_validation(self):
+        with pytest.raises(CircuitError):
+            bwt_circuit(depth=1, steps=0)
+
+    def test_gate_count_scales_with_steps(self):
+        one = len(bwt_circuit(depth=1, steps=1, seed=0))
+        three = len(bwt_circuit(depth=1, steps=3, seed=0))
+        assert three == 3 * one

@@ -1,0 +1,99 @@
+"""Tests for the Grover benchmark."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grover import (
+    grover_circuit,
+    grover_diffusion,
+    grover_oracle,
+    optimal_iterations,
+    success_probability_bound,
+)
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import CircuitError
+from repro.sim.simulator import Simulator
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestOracle:
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_oracle_flips_only_marked(self, marked):
+        n = 3
+        unitary = StatevectorSimulator(n).unitary(grover_oracle(n, marked))
+        expected = np.eye(8, dtype=complex)
+        expected[marked, marked] = -1
+        np.testing.assert_allclose(unitary, expected, atol=1e-12)
+
+    def test_out_of_range_marked(self):
+        with pytest.raises(CircuitError):
+            grover_oracle(3, 8)
+
+    def test_oracle_is_exact(self):
+        assert grover_oracle(4, 5).is_exactly_representable
+
+
+class TestDiffusion:
+    def test_diffusion_matrix(self):
+        """Diffusion = 2|s><s| - I up to global sign."""
+        n = 3
+        unitary = StatevectorSimulator(n).unitary(grover_diffusion(n))
+        size = 8
+        s = np.full((size, 1), 1 / math.sqrt(size))
+        expected = 2 * (s @ s.T) - np.eye(size)
+        # Allow the conventional global -1.
+        if np.linalg.norm(unitary - expected) > 1e-9:
+            expected = -expected
+        np.testing.assert_allclose(unitary, expected, atol=1e-9)
+
+
+class TestFullAlgorithm:
+    @pytest.mark.parametrize("n,marked", [(3, 5), (4, 11), (5, 17)])
+    def test_marked_element_amplified(self, n, marked):
+        result = Simulator(algebraic_manager(n)).run(grover_circuit(n, marked))
+        probabilities = np.abs(result.final_amplitudes()) ** 2
+        assert probabilities.argmax() == marked
+        expected = success_probability_bound(n, optimal_iterations(n))
+        assert probabilities[marked] == pytest.approx(expected, abs=1e-6)
+
+    def test_probability_grows_with_iterations(self):
+        n, marked = 4, 6
+        previous = 0.0
+        for iterations in (1, 2, 3):
+            result = Simulator(algebraic_manager(n)).run(
+                grover_circuit(n, marked, iterations=iterations)
+            )
+            probability = abs(result.amplitude(marked)) ** 2
+            assert probability > previous
+            previous = probability
+
+    def test_numeric_and_algebraic_agree(self):
+        n, marked = 4, 9
+        circuit = grover_circuit(n, marked)
+        numeric = Simulator(numeric_manager(n, eps=1e-12)).run(circuit)
+        algebraic = Simulator(algebraic_manager(n)).run(circuit)
+        np.testing.assert_allclose(
+            numeric.final_amplitudes(), algebraic.final_amplitudes(), atol=1e-8
+        )
+
+    def test_exactly_representable(self):
+        """Paper Section V: all Grover gates/values are in D[omega]."""
+        assert grover_circuit(5, 3).is_exactly_representable
+
+    def test_algebraic_dd_stays_compact(self):
+        """Paper Fig. 3a: the algebraic Grover DD remains small -- the
+        state is always (a, ..., a, b, a, ..., a), a 2-value vector."""
+        n = 6
+        result = Simulator(algebraic_manager(n)).run(grover_circuit(n, 13))
+        assert result.node_count <= 2 * n
+
+    def test_minimum_qubits(self):
+        with pytest.raises(CircuitError):
+            grover_circuit(1, 0)
+
+    def test_optimal_iterations_scaling(self):
+        assert optimal_iterations(4) == round(math.pi / 4 * 4)
+        assert optimal_iterations(8) == round(math.pi / 4 * 16)
+        assert optimal_iterations(2) >= 1

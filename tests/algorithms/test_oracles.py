@@ -1,0 +1,115 @@
+"""Tests for the oracle-based textbook algorithms (BV, DJ, Simon)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.oracles import (
+    bernstein_vazirani_circuit,
+    deutsch_jozsa_balanced_circuit,
+    deutsch_jozsa_constant_circuit,
+    simon_circuit,
+    solve_simon_system,
+)
+from repro.dd.manager import algebraic_manager
+from repro.errors import CircuitError
+from repro.sim.measure import sample_counts
+from repro.sim.simulator import Simulator
+
+
+def input_register_distribution(result, num_bits, total_qubits):
+    """Marginal probabilities of the first ``num_bits`` qubits."""
+    amplitudes = result.final_amplitudes()
+    probs = np.abs(amplitudes) ** 2
+    return probs.reshape(1 << num_bits, -1).sum(axis=1)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0, 1, 0b1011, 0b1111])
+    def test_recovers_secret_with_certainty(self, secret):
+        num_bits = 4
+        circuit = bernstein_vazirani_circuit(secret, num_bits)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        marginal = input_register_distribution(result, num_bits, circuit.num_qubits)
+        assert marginal[secret] == pytest.approx(1.0)
+
+    def test_final_dd_is_linear(self):
+        """The BV output is a product state: n + 1 nodes."""
+        circuit = bernstein_vazirani_circuit(0b101, 3)
+        result = Simulator(algebraic_manager(4)).run(circuit)
+        assert result.node_count == 4
+
+    def test_exactness(self):
+        assert bernstein_vazirani_circuit(5, 4).is_exactly_representable
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_circuit(16, 4)
+
+
+class TestDeutschJozsa:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_constant_returns_all_zero(self, value):
+        num_bits = 3
+        circuit = deutsch_jozsa_constant_circuit(num_bits, value)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        marginal = input_register_distribution(result, num_bits, circuit.num_qubits)
+        assert marginal[0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mask", [1, 0b101, 0b111])
+    def test_balanced_never_returns_zero(self, mask):
+        num_bits = 3
+        circuit = deutsch_jozsa_balanced_circuit(num_bits, mask)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        marginal = input_register_distribution(result, num_bits, circuit.num_qubits)
+        assert marginal[0] == pytest.approx(0.0, abs=1e-12)
+        assert marginal[mask] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            deutsch_jozsa_constant_circuit(3, 2)
+        with pytest.raises(CircuitError):
+            deutsch_jozsa_balanced_circuit(3, 0)
+
+
+class TestSimon:
+    @pytest.mark.parametrize("period", [1, 2, 3])
+    def test_samples_orthogonal_to_period(self, period):
+        num_bits = 2
+        circuit = simon_circuit(period, num_bits, seed=1)
+        result = Simulator(algebraic_manager(circuit.num_qubits)).run(circuit)
+        amplitudes = result.final_amplitudes()
+        probs = np.abs(amplitudes) ** 2
+        marginal = probs.reshape(1 << num_bits, -1).sum(axis=1)
+        for y, probability in enumerate(marginal):
+            if probability > 1e-12:
+                assert bin(y & period).count("1") % 2 == 0
+
+    def test_full_protocol_recovers_period(self):
+        num_bits, period = 3, 0b101
+        circuit = simon_circuit(period, num_bits, seed=2)
+        manager = algebraic_manager(circuit.num_qubits)
+        result = Simulator(manager).run(circuit)
+        counts = sample_counts(manager, result.state, shots=200, seed=5)
+        samples = {index >> num_bits for index in counts}
+        candidates = solve_simon_system(samples, num_bits)
+        assert candidates == [period]
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            simon_circuit(0, 3)
+        with pytest.raises(CircuitError):
+            simon_circuit(8, 3)
+
+
+class TestSolveSimonSystem:
+    def test_underdetermined(self):
+        # One sample y=0b01 over 2 bits: both s=0b10 and ... y.s=0:
+        candidates = solve_simon_system([0b01], 2)
+        assert set(candidates) == {0b10}
+        # No samples: every non-zero s is a candidate.
+        assert len(solve_simon_system([], 2)) == 3
+
+    def test_fully_determined(self):
+        # Samples spanning the orthogonal complement of s = 0b110.
+        candidates = solve_simon_system([0b110, 0b001], 3)
+        assert candidates == [0b110]

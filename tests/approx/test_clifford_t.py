@@ -1,0 +1,167 @@
+"""Tests for the Clifford+T approximation pipeline."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.approx.clifford_t import (
+    approximate_circuit,
+    approximate_phase,
+    decompose_controlled_phase,
+    word_database_size,
+)
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import rx_gate, ry_gate
+from repro.errors import ApproximationError
+from repro.sim.statevector import StatevectorSimulator
+
+# A small database keeps these tests fast; quality assertions are scaled
+# to the budget.
+SMALL = dict(max_words=2000, max_length=18)
+
+
+def word_unitary(result):
+    matrix = np.eye(2, dtype=complex)
+    for gate in result.gates:
+        matrix = np.array(gate.matrix, dtype=complex).reshape(2, 2) @ matrix
+    return matrix
+
+
+def phase_free_distance(u, v):
+    return math.sqrt(max(0.0, 4.0 - 2.0 * abs(np.trace(u.conj().T @ v))))
+
+
+class TestApproximatePhase:
+    @pytest.mark.parametrize("k", range(-8, 9))
+    def test_pi_over_4_multiples_exact(self, k):
+        result = approximate_phase(k * math.pi / 4, **SMALL)
+        assert result.error == 0.0
+        target = np.diag([1, cmath.exp(1j * k * math.pi / 4)])
+        np.testing.assert_allclose(word_unitary(result), target, atol=1e-12)
+
+    @pytest.mark.parametrize("theta", [0.3, -0.77, 1.9, 0.05])
+    def test_error_reported_matches_actual(self, theta):
+        result = approximate_phase(theta, **SMALL)
+        target = np.diag([1, cmath.exp(1j * theta)])
+        actual = phase_free_distance(word_unitary(result), target)
+        assert actual == pytest.approx(result.error, abs=1e-9)
+
+    @pytest.mark.parametrize("theta", [0.3, -0.77, 1.9])
+    def test_error_beats_identity_baseline(self, theta):
+        """The search must improve on doing nothing (and on bare T runs)."""
+        result = approximate_phase(theta, **SMALL)
+        target = np.diag([1, cmath.exp(1j * theta)])
+        baseline = min(
+            phase_free_distance(np.diag([1, cmath.exp(1j * k * math.pi / 4)]), target)
+            for k in range(8)
+        )
+        assert result.error <= baseline + 1e-12
+
+    def test_word_gates_are_exact(self):
+        result = approximate_phase(0.3, **SMALL)
+        assert all(gate.is_exactly_representable for gate in result.gates)
+
+    def test_caching(self):
+        first = approximate_phase(0.123, **SMALL)
+        second = approximate_phase(0.123, **SMALL)
+        assert first is second
+
+    def test_database_size(self):
+        assert word_database_size(**SMALL) == 2000
+
+
+class TestControlledPhaseDecomposition:
+    @pytest.mark.parametrize("num_controls", [0, 1, 2, 3])
+    def test_matches_dense(self, num_controls):
+        theta = 0.7321
+        n = num_controls + 1
+        controls = tuple(range(num_controls))
+        target = num_controls
+        circuit = decompose_controlled_phase(n, theta, controls, target)
+        reference = Circuit(n)
+        reference.append(
+            __import__("repro.circuits.gates", fromlist=["phase_gate"]).phase_gate(theta),
+            target,
+            controls=controls,
+        )
+        simulator = StatevectorSimulator(n)
+        np.testing.assert_allclose(
+            simulator.unitary(circuit), simulator.unitary(reference), atol=1e-9
+        )
+
+    def test_only_cx_and_phases(self):
+        circuit = decompose_controlled_phase(3, 0.5, (0, 1), 2)
+        for operation in circuit:
+            assert operation.gate.name in ("p", "x")
+            if operation.gate.name == "x":
+                assert len(operation.controls) == 1  # plain CX only
+            else:
+                assert not operation.controls  # phases are bare
+
+
+class TestApproximateCircuit:
+    def test_exact_circuit_untouched(self):
+        circuit = Circuit(2).h(0).t(1).cx(0, 1)
+        compiled = approximate_circuit(circuit, **SMALL)
+        assert [op.gate.name for op in compiled] == ["h", "t", "x"]
+
+    def test_compiled_circuit_is_exact(self):
+        circuit = Circuit(2).rz(0.3, 0).cp(0.9, 0, 1).ry(0.2, 1)
+        compiled = approximate_circuit(circuit, **SMALL)
+        assert compiled.is_exactly_representable
+        assert len(compiled) > len(circuit)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda c: c.p(0.7, 0),
+            lambda c: c.rz(0.7, 0),
+            lambda c: c.rx(0.7, 0),
+            lambda c: c.ry(0.7, 0),
+            lambda c: c.cp(0.7, 0, 1),
+            lambda c: c.mcp(0.7, [0, 1], 2),
+        ],
+    )
+    def test_state_close_to_original(self, build):
+        """Compiled circuit acting on a superposition stays close to the
+        rotation circuit (up to global phase)."""
+        n = 3
+        circuit = Circuit(n)
+        for q in range(n):
+            circuit.h(q)
+        build(circuit)
+        compiled = approximate_circuit(circuit, **SMALL)
+        simulator = StatevectorSimulator(n)
+        original = simulator.run(circuit)
+        approximated = simulator.run(compiled)
+        overlap = abs(np.vdot(original, approximated))
+        assert overlap > 0.99
+
+    def test_unsupported_gate_raises(self):
+        from repro.circuits.gates import u_gate
+
+        circuit = Circuit(1)
+        circuit.append(u_gate(0.3, 0.2, 0.1), 0)
+        with pytest.raises(ApproximationError):
+            approximate_circuit(circuit, **SMALL)
+
+    def test_negative_controls_rejected(self):
+        from repro.circuits.gates import rz_gate
+
+        circuit = Circuit(2)
+        circuit.append(rz_gate(0.3), 1, negative_controls=[0])
+        with pytest.raises(ApproximationError):
+            approximate_circuit(circuit, **SMALL)
+
+    def test_algebraic_simulation_of_compiled_circuit(self):
+        """The whole point: the compiled circuit simulates exactly."""
+        from repro.dd.manager import algebraic_manager
+        from repro.sim.simulator import Simulator
+
+        circuit = Circuit(2).h(0).cp(0.37, 0, 1).h(1)
+        compiled = approximate_circuit(circuit, **SMALL)
+        result = Simulator(algebraic_manager(2)).run(compiled)
+        dense = StatevectorSimulator(2).run(compiled)
+        np.testing.assert_allclose(result.final_amplitudes(), dense, atol=1e-9)

@@ -1,0 +1,156 @@
+"""Tests for the Circuit container and composite builders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import H, X
+from repro.circuits.library import (
+    ghz_circuit,
+    inverse_qft_circuit,
+    mcx_with_toffolis,
+    qft_circuit,
+    uniform_superposition,
+)
+from repro.errors import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestCircuitBasics:
+    def test_builder_chaining(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).t(2)
+        assert len(circuit) == 4
+        assert circuit[0].gate.name == "h"
+        assert circuit[2].controls == (0, 1)
+
+    def test_qubit_range_validation(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(2)
+        with pytest.raises(CircuitError):
+            Circuit(2).cx(0, 5)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).cx(1, 1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_gate_counts_and_t_count(self):
+        circuit = Circuit(2).h(0).t(0).t(1).tdg(0).cx(0, 1)
+        counts = circuit.gate_counts()
+        assert counts == {"h": 1, "t": 2, "tdg": 1, "x": 1}
+        assert circuit.t_count() == 3
+
+    def test_exactness_flag(self):
+        assert Circuit(2).h(0).cx(0, 1).is_exactly_representable
+        assert not Circuit(2).rz(0.3, 0).is_exactly_representable
+
+    def test_iteration_and_str(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        names = [op.gate.name for op in circuit]
+        assert names == ["h", "x"]
+        assert "2 qubits" in str(circuit)
+
+    def test_concatenation(self):
+        left = Circuit(2).h(0)
+        right = Circuit(2).cx(0, 1)
+        combined = left + right
+        assert len(combined) == 2
+        with pytest.raises(CircuitError):
+            left + Circuit(3)
+
+    def test_extend(self):
+        circuit = Circuit(2).h(0)
+        circuit.extend(Circuit(2).x(1))
+        assert len(circuit) == 2
+
+    def test_repeat(self):
+        assert len(Circuit(1).h(0).repeat(5)) == 5
+        assert len(Circuit(1).h(0).repeat(0)) == 0
+        with pytest.raises(CircuitError):
+            Circuit(1).h(0).repeat(-1)
+
+
+class TestInverse:
+    def test_inverse_reverses_and_daggers(self):
+        circuit = Circuit(2).h(0).t(1).cx(0, 1)
+        inverse = circuit.inverse()
+        assert [op.gate.name for op in inverse] == ["x", "tdg", "h"]
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_circuit_times_inverse_is_identity(self, n):
+        circuit = Circuit(n).h(0).t(0).cx(0, 1).s(1).rz(0.37, 0)
+        simulator = StatevectorSimulator(n)
+        unitary = simulator.unitary(circuit + circuit.inverse())
+        np.testing.assert_allclose(unitary, np.eye(1 << n), atol=1e-9)
+
+
+class TestLibrary:
+    def test_ghz_state(self):
+        state = StatevectorSimulator(3).run(ghz_circuit(3))
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = expected[7] = 1 / math.sqrt(2)
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+    def test_uniform_superposition(self):
+        state = StatevectorSimulator(3).run(uniform_superposition(3))
+        np.testing.assert_allclose(state, np.full(8, 1 / math.sqrt(8)), atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_qft_matrix(self, n):
+        """QFT matrix entries are the DFT matrix (with bit reversal swaps)."""
+        unitary = StatevectorSimulator(n).unitary(qft_circuit(n))
+        size = 1 << n
+        expected = np.array(
+            [
+                [np.exp(2j * math.pi * row * col / size) / math.sqrt(size) for col in range(size)]
+                for row in range(size)
+            ]
+        )
+        np.testing.assert_allclose(unitary, expected, atol=1e-9)
+
+    def test_qft_inverse_roundtrip(self):
+        n = 3
+        circuit = qft_circuit(n) + inverse_qft_circuit(n)
+        unitary = StatevectorSimulator(n).unitary(circuit)
+        np.testing.assert_allclose(unitary, np.eye(8), atol=1e-9)
+
+    def test_qft_exactness_boundary(self):
+        """QFT up to 3 qubits uses only angles >= pi/4 (exact); 4 qubits
+        introduces pi/8 (inexact) -- the boundary the paper draws."""
+        assert qft_circuit(2).is_exactly_representable
+        assert qft_circuit(3).is_exactly_representable
+        assert not qft_circuit(4).is_exactly_representable
+
+    @pytest.mark.parametrize("num_controls", [1, 2, 3, 4])
+    def test_mcx_with_toffolis(self, num_controls):
+        controls = list(range(num_controls))
+        target = num_controls
+        ancillas = list(range(num_controls + 1, 2 * num_controls - 1))
+        n = max(num_controls + 1, 2 * num_controls - 1)
+        circuit = mcx_with_toffolis(n, controls, target, ancillas)
+        reference = Circuit(n).mcx(controls, target)
+        simulator = StatevectorSimulator(n)
+        unitary = simulator.unitary(circuit)
+        expected = simulator.unitary(reference)
+        # The Toffoli ladder assumes *clean* ancillas: compare only the
+        # columns (and rows) where every ancilla bit is zero.
+        ancilla_mask = sum(1 << (n - 1 - a) for a in ancillas)
+        clean = [i for i in range(1 << n) if not i & ancilla_mask]
+        np.testing.assert_allclose(
+            unitary[np.ix_(clean, clean)], expected[np.ix_(clean, clean)], atol=1e-9
+        )
+        # And ancillas must be returned to zero (no leakage off-subspace).
+        dirty = [i for i in range(1 << n) if i & ancilla_mask]
+        if dirty:
+            np.testing.assert_allclose(
+                unitary[np.ix_(dirty, clean)], 0.0, atol=1e-9
+            )
+
+    def test_mcx_needs_ancillas(self):
+        with pytest.raises(CircuitError):
+            mcx_with_toffolis(4, [0, 1, 2], 3, [])

@@ -1,0 +1,86 @@
+"""Tests for the OpenQASM 2.0 subset serialiser/parser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.errors import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestRoundtrip:
+    def test_clifford_t_roundtrip(self):
+        circuit = Circuit(3).h(0).t(1).sdg(2).cx(0, 1).ccx(0, 1, 2).cz(1, 2)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == 3
+        assert [op.gate.name for op in parsed] == [op.gate.name for op in circuit]
+        simulator = StatevectorSimulator(3)
+        np.testing.assert_allclose(
+            simulator.run(parsed), simulator.run(circuit), atol=1e-12
+        )
+
+    def test_rotation_roundtrip(self):
+        circuit = Circuit(2).rz(0.375, 0).ry(-1.25, 1).rx(math.pi / 7, 0).p(0.5, 1)
+        parsed = from_qasm(to_qasm(circuit))
+        simulator = StatevectorSimulator(2)
+        np.testing.assert_allclose(
+            simulator.run(parsed), simulator.run(circuit), atol=1e-12
+        )
+
+    def test_swap_roundtrip(self):
+        circuit = Circuit(2).x(0).swap(0, 1)
+        parsed = from_qasm(to_qasm(circuit))
+        simulator = StatevectorSimulator(2)
+        np.testing.assert_allclose(
+            simulator.run(parsed), simulator.run(circuit), atol=1e-12
+        )
+
+
+class TestParsing:
+    def test_parse_external_text(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        rz(pi/4) q[1];
+        measure q -> c;  // ignored
+        """
+        circuit = from_qasm(text)
+        assert circuit.num_qubits == 2
+        assert [op.gate.name for op in circuit] == ["h", "x", "rz"]
+        assert abs(circuit[2].gate.params[0] - math.pi / 4) < 1e-12
+
+    def test_pi_expression_evaluation(self):
+        circuit = from_qasm("qreg q[1]; rz(2*pi/3) q[0];")
+        assert abs(circuit[0].gate.params[0] - 2 * math.pi / 3) < 1e-12
+
+    def test_missing_qreg_raises(self):
+        with pytest.raises(CircuitError):
+            from_qasm("h q[0];")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            from_qasm("qreg q[1]; frobnicate q[0];")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("qreg q[1]; rz(__import__('os')) q[0];")
+
+    def test_negative_controls_not_serialisable(self):
+        from repro.circuits.gates import X
+
+        circuit = Circuit(2)
+        circuit.append(X, 1, negative_controls=[0])
+        with pytest.raises(CircuitError):
+            to_qasm(circuit)
+
+    def test_cp_gate(self):
+        circuit = from_qasm("qreg q[2]; cp(pi/2) q[0], q[1];")
+        assert circuit[0].controls == (0,)
+        assert circuit[0].gate.name == "p"

@@ -1,0 +1,145 @@
+"""Tests for the basic-gate (1-qubit + CX) Clifford+T transpiler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import H, S, T, X, Z, phase_gate
+from repro.circuits.transpile import transpile_to_basic_gates
+from repro.errors import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+
+
+def assert_same_unitary(original, transpiled, atol=1e-9):
+    simulator = StatevectorSimulator(original.num_qubits)
+    np.testing.assert_allclose(
+        simulator.unitary(transpiled), simulator.unitary(original), atol=atol
+    )
+
+
+def assert_basic(circuit):
+    for operation in circuit:
+        assert len(operation.controls) <= 1
+        assert not operation.negative_controls
+        if operation.controls:
+            assert operation.gate.name == "x"  # only CX as 2-qubit gate
+
+
+class TestSingleControl:
+    @pytest.mark.parametrize("gate", [X, Z, H, S], ids=lambda g: g.name)
+    def test_controlled_gate(self, gate):
+        circuit = Circuit(2)
+        circuit.append(gate, 1, controls=(0,))
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    def test_cy(self):
+        from repro.circuits.gates import Y
+
+        circuit = Circuit(2)
+        circuit.append(Y, 0, controls=(1,))
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_controlled_even_pi4_phase(self, k):
+        circuit = Circuit(2).cp(k * math.pi / 4, 0, 1)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    @pytest.mark.parametrize("k", [1, 3, 5, 7])
+    def test_controlled_t_needs_ancilla(self, k):
+        """Determinant obstruction: controlled odd-pi/4 phases (e.g.
+        controlled-T) are not ancilla-free over {1q Clifford+T, CX}."""
+        circuit = Circuit(2).cp(k * math.pi / 4, 0, 1)
+        with pytest.raises(CircuitError):
+            transpile_to_basic_gates(circuit)
+
+    def test_unsupported_controlled_gate(self):
+        circuit = Circuit(2).cp(0.3, 0, 1)  # not a pi/4 multiple
+        with pytest.raises(CircuitError):
+            transpile_to_basic_gates(circuit)
+
+
+class TestDoubleControl:
+    def test_toffoli_seven_t(self):
+        circuit = Circuit(3).ccx(0, 1, 2)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert transpiled.t_count() == 7
+        assert_same_unitary(circuit, transpiled)
+
+    @pytest.mark.parametrize("layout", [(0, 1, 2), (2, 0, 1), (1, 2, 0)])
+    def test_toffoli_layouts(self, layout):
+        a, b, c = layout
+        circuit = Circuit(3).ccx(a, b, c)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_same_unitary(circuit, transpiled)
+
+    def test_ccz(self):
+        circuit = Circuit(3).ccz(0, 1, 2)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    @pytest.mark.parametrize("k", [4])
+    def test_ccp_multiple_of_pi(self, k):
+        circuit = Circuit(3).mcp(k * math.pi / 4, [0, 1], 2)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_ccp_below_pi_needs_ancilla(self, k):
+        """cc-P(k pi/4) for k < 4 bottoms out in controlled-T."""
+        circuit = Circuit(3).mcp(k * math.pi / 4, [0, 1], 2)
+        with pytest.raises(CircuitError):
+            transpile_to_basic_gates(circuit)
+
+    def test_three_controls_rejected(self):
+        circuit = Circuit(4).mcx([0, 1, 2], 3)
+        with pytest.raises(CircuitError):
+            transpile_to_basic_gates(circuit)
+
+
+class TestWholeCircuits:
+    def test_negative_controls_expanded(self):
+        circuit = Circuit(3)
+        circuit.append(X, 2, controls=(0,), negative_controls=(1,))
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    def test_ghz_plus_toffoli(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).t(2)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert_basic(transpiled)
+        assert_same_unitary(circuit, transpiled)
+
+    def test_transpiled_stays_exact(self):
+        """The output is an exactly representable circuit -- simulatable
+        by the algebraic QMDD with the identical unitary."""
+        from repro.dd.manager import algebraic_manager
+        from repro.sim.simulator import Simulator
+
+        circuit = Circuit(3).h(0).ccx(0, 1, 2).cz(1, 2).cp(math.pi, 0, 2)
+        transpiled = transpile_to_basic_gates(circuit)
+        assert transpiled.is_exactly_representable
+        manager = algebraic_manager(3)
+        simulator = Simulator(manager)
+        assert manager.edges_equal(
+            simulator.unitary(circuit), simulator.unitary(transpiled)
+        )
+
+    def test_qasm_export_of_transpiled(self):
+        from repro.circuits.qasm import from_qasm, to_qasm
+
+        circuit = Circuit(3).h(0).ccx(0, 1, 2)
+        transpiled = transpile_to_basic_gates(circuit)
+        parsed = from_qasm(to_qasm(transpiled))
+        assert_same_unitary(transpiled, parsed)

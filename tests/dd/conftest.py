@@ -1,0 +1,55 @@
+"""Shared fixtures and strategies for decision-diagram tests."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.dd.manager import (
+    algebraic_gcd_manager,
+    algebraic_manager,
+    numeric_manager,
+)
+from repro.rings.domega import DOmega
+
+#: Small D[omega] values usable as exact amplitudes/entries in any system.
+small_ints = st.integers(min_value=-3, max_value=3)
+small_domegas = st.builds(
+    DOmega.from_coefficients, small_ints, small_ints, small_ints, small_ints,
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def make_managers(num_qubits):
+    """All three manager flavours, for parametrised cross-checking."""
+    return {
+        "numeric": numeric_manager(num_qubits, eps=0.0),
+        "numeric-tolerant": numeric_manager(num_qubits, eps=1e-10),
+        "numeric-maxnorm": numeric_manager(num_qubits, eps=0.0, normalization="max-magnitude"),
+        "algebraic-q": algebraic_manager(num_qubits),
+        "algebraic-gcd": algebraic_gcd_manager(num_qubits),
+    }
+
+
+MANAGER_KINDS = ["numeric", "numeric-tolerant", "numeric-maxnorm", "algebraic-q", "algebraic-gcd"]
+
+
+@pytest.fixture(params=MANAGER_KINDS)
+def manager_factory(request):
+    """A factory fixture: call with num_qubits to get a fresh manager."""
+    kind = request.param
+
+    def factory(num_qubits):
+        return make_managers(num_qubits)[kind]
+
+    factory.kind = kind
+    return factory
+
+
+def import_weights(manager, values):
+    """Import a list of DOmega values into the manager's weight domain."""
+    return [manager.system.from_domega(value) for value in values]
+
+
+def dense_of(values):
+    """Complex numpy array of a list of DOmega values."""
+    return np.array([value.to_complex() for value in values], dtype=complex)

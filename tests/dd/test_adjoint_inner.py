@@ -1,0 +1,107 @@
+"""Tests for DD adjoints, inner products and fidelity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit, uniform_superposition
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import LevelMismatchError
+from repro.rings.qomega import QOmega
+from repro.sim.simulator import Simulator
+
+
+class TestAdjoint:
+    def test_adjoint_of_identity(self, manager_factory):
+        manager = manager_factory(3)
+        identity = manager.identity()
+        assert manager.edges_equal(manager.adjoint(identity), identity)
+
+    def test_adjoint_matches_dense(self, manager_factory):
+        manager = manager_factory(3)
+        circuit = Circuit(3).h(0).t(1).cx(0, 2).s(2)
+        unitary = Simulator(manager).unitary(circuit)
+        np.testing.assert_allclose(
+            manager.to_matrix(manager.adjoint(unitary)),
+            manager.to_matrix(unitary).conj().T,
+            atol=1e-9,
+        )
+
+    def test_adjoint_is_involution_algebraic(self):
+        manager = algebraic_manager(2)
+        unitary = Simulator(manager).unitary(Circuit(2).h(0).t(0).cx(0, 1))
+        assert manager.edges_equal(manager.adjoint(manager.adjoint(unitary)), unitary)
+
+    def test_u_udagger_is_identity_algebraic(self):
+        """The exact representation recognises U U^dag = I structurally."""
+        manager = algebraic_manager(2)
+        unitary = Simulator(manager).unitary(Circuit(2).h(0).t(1).cx(1, 0))
+        product = manager.mat_mat(unitary, manager.adjoint(unitary))
+        assert manager.edges_equal(product, manager.identity())
+
+    def test_adjoint_of_zero(self, manager_factory):
+        manager = manager_factory(2)
+        assert manager.is_zero_edge(manager.adjoint(manager.zero_edge()))
+
+
+class TestInnerProduct:
+    def test_orthonormal_basis(self, manager_factory):
+        manager = manager_factory(3)
+        a = manager.basis_state(2)
+        b = manager.basis_state(5)
+        assert manager.system.is_one(manager.inner_product(a, a))
+        assert manager.system.is_zero(manager.inner_product(a, b))
+
+    def test_exact_overlap_value(self):
+        """<0|H T H|0> = (1 + omega)/2, exactly."""
+        manager = algebraic_manager(1)
+        state = Simulator(manager).run(Circuit(1).h(0).t(0).h(0)).state
+        overlap = manager.inner_product(manager.basis_state(0), state)
+        expected = (QOmega.one() + QOmega.omega_power(1)) * QOmega.one_over_sqrt2(2)
+        assert overlap == expected
+
+    def test_matches_dense_vdot(self, manager_factory):
+        manager = manager_factory(3)
+        simulator = Simulator(manager)
+        left = simulator.run(ghz_circuit(3)).state
+        right = simulator.run(uniform_superposition(3)).state
+        dense = np.vdot(manager.to_statevector(left), manager.to_statevector(right))
+        assert abs(manager.system.to_complex(manager.inner_product(left, right)) - dense) < 1e-9
+
+    def test_conjugate_symmetry(self):
+        manager = algebraic_manager(2)
+        simulator = Simulator(manager)
+        left = simulator.run(Circuit(2).h(0).t(0)).state
+        right = simulator.run(Circuit(2).h(1).s(1)).state
+        forward = manager.inner_product(left, right)
+        backward = manager.inner_product(right, left)
+        assert forward == backward.conj()
+
+    def test_zero_edge(self, manager_factory):
+        manager = manager_factory(2)
+        state = manager.basis_state(0)
+        assert manager.system.is_zero(manager.inner_product(state, manager.zero_edge()))
+
+    def test_level_mismatch(self):
+        manager = algebraic_manager(2)
+        top = manager.basis_state(0)
+        sub = top.node.edges[0]
+        with pytest.raises(LevelMismatchError):
+            manager.inner_product(top, sub)
+
+
+class TestFidelity:
+    def test_self_fidelity_one(self, manager_factory):
+        manager = manager_factory(2)
+        state = Simulator(manager).run(ghz_circuit(2)).state
+        assert manager.fidelity(state, state) == pytest.approx(1.0)
+
+    def test_ghz_vs_uniform(self):
+        manager = algebraic_manager(2)
+        simulator = Simulator(manager)
+        ghz = simulator.run(ghz_circuit(2)).state
+        uniform = simulator.run(uniform_superposition(2)).state
+        # |<GHZ|++>|^2 = |(1/sqrt2 * 1/2) * 2|^2 = 1/2
+        assert manager.fidelity(ghz, uniform) == pytest.approx(0.5)

@@ -1,0 +1,73 @@
+"""Tests for exact dense extraction (amplitudes and matrix entries)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.rings.qomega import QOmega
+from repro.sim.simulator import Simulator
+
+
+class TestExactAmplitudes:
+    def test_matches_amplitude_queries(self):
+        manager = algebraic_manager(3)
+        state = Simulator(manager).run(Circuit(3).h(0).t(0).cx(0, 1).s(2)).state
+        amplitudes = manager.to_exact_amplitudes(state)
+        assert len(amplitudes) == 8
+        for index, amplitude in enumerate(amplitudes):
+            assert amplitude == manager.amplitude(state, index)
+
+    def test_exact_ring_elements(self):
+        manager = algebraic_manager(1)
+        state = Simulator(manager).run(Circuit(1).h(0)).state
+        amplitudes = manager.to_exact_amplitudes(state)
+        assert amplitudes == [QOmega.one_over_sqrt2(), QOmega.one_over_sqrt2()]
+
+    def test_zero_edge(self):
+        manager = algebraic_manager(2)
+        amplitudes = manager.to_exact_amplitudes(manager.zero_edge())
+        assert all(a.is_zero() for a in amplitudes)
+        assert len(amplitudes) == 4
+
+    def test_matches_float_conversion(self):
+        manager = numeric_manager(3, eps=1e-12)
+        state = Simulator(manager).run(Circuit(3).h(0).cx(0, 2).t(1)).state
+        exact = manager.to_exact_amplitudes(state)
+        dense = manager.to_statevector(state)
+        for weight, value in zip(exact, dense):
+            assert abs(manager.system.to_complex(weight) - value) < 1e-12
+
+
+class TestExactMatrix:
+    def test_identity(self):
+        manager = algebraic_manager(2)
+        grid = manager.to_exact_matrix(manager.identity())
+        for row in range(4):
+            for col in range(4):
+                expected = QOmega.one() if row == col else QOmega.zero()
+                assert grid[row][col] == expected
+
+    def test_matches_float_matrix(self):
+        manager = algebraic_manager(2)
+        unitary = Simulator(manager).unitary(Circuit(2).h(0).cx(0, 1).t(1))
+        grid = manager.to_exact_matrix(unitary)
+        dense = manager.to_matrix(unitary)
+        for row in range(4):
+            for col in range(4):
+                assert abs(grid[row][col].to_complex() - dense[row][col]) < 1e-12
+
+    def test_exact_unitarity_from_extraction(self):
+        """U U^dag = I verified entry-wise in the ring -- an end-to-end
+        exactness check that floats could never provide."""
+        manager = algebraic_manager(2)
+        unitary = Simulator(manager).unitary(Circuit(2).h(0).t(0).cx(0, 1).s(1))
+        grid = manager.to_exact_matrix(unitary)
+        size = 4
+        for row in range(size):
+            for col in range(size):
+                total = QOmega.zero()
+                for inner in range(size):
+                    total = total + grid[row][inner] * grid[col][inner].conj()
+                expected = QOmega.one() if row == col else QOmega.zero()
+                assert total == expected

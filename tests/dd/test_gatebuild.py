@@ -1,0 +1,226 @@
+"""Tests for direct gate-DD construction against dense numpy references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.gatebuild import build_diagonal_dd, build_gate_dd
+from repro.errors import CircuitError
+from repro.rings.domega import DOmega
+
+SQRT2 = math.sqrt(2)
+
+H_DENSE = np.array([[1, 1], [1, -1]]) / SQRT2
+X_DENSE = np.array([[0, 1], [1, 0]], dtype=complex)
+T_DENSE = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]])
+Z_DENSE = np.array([[1, 0], [0, -1]], dtype=complex)
+
+H_EXACT = (
+    DOmega.one_over_sqrt2(),
+    DOmega.one_over_sqrt2(),
+    DOmega.one_over_sqrt2(),
+    -DOmega.one_over_sqrt2(),
+)
+X_EXACT = (DOmega.zero(), DOmega.one(), DOmega.one(), DOmega.zero())
+T_EXACT = (DOmega.one(), DOmega.zero(), DOmega.zero(), DOmega.omega_power(1))
+Z_EXACT = (DOmega.one(), DOmega.zero(), DOmega.zero(), DOmega.from_int(-1))
+
+
+def embed(base, target, n, controls=(), neg_controls=()):
+    """Dense reference for a (multi-)controlled gate on n qubits."""
+    size = 1 << n
+    matrix = np.eye(size, dtype=complex)
+    for row in range(size):
+        for col in range(size):
+            row_bits = [(row >> (n - 1 - q)) & 1 for q in range(n)]
+            col_bits = [(col >> (n - 1 - q)) & 1 for q in range(n)]
+            if any(row_bits[q] != col_bits[q] for q in range(n) if q != target):
+                matrix[row][col] = 0.0
+                continue
+            satisfied = all(col_bits[c] == 1 for c in controls) and all(
+                col_bits[c] == 0 for c in neg_controls
+            )
+            if satisfied:
+                matrix[row][col] = base[row_bits[target]][col_bits[target]]
+            else:
+                matrix[row][col] = 1.0 if row_bits[target] == col_bits[target] else 0.0
+    return matrix
+
+
+def exact_entries(manager, entries):
+    return tuple(manager.system.from_domega(entry) for entry in entries)
+
+
+class TestSingleQubitGates:
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_hadamard_placement(self, manager_factory, target):
+        manager = manager_factory(3)
+        gate = build_gate_dd(manager, exact_entries(manager, H_EXACT), target)
+        np.testing.assert_allclose(
+            manager.to_matrix(gate), embed(H_DENSE, target, 3), atol=1e-9
+        )
+
+    def test_figure_1c_structure(self, manager_factory):
+        """Paper Fig. 1: H (x) I_2 is two nodes with root weight 1/sqrt2."""
+        manager = manager_factory(2)
+        gate = build_gate_dd(manager, exact_entries(manager, H_EXACT), 0)
+        assert manager.node_count(gate) == 2
+        assert abs(manager.system.to_complex(gate.weight) - 1 / SQRT2) < 1e-12
+
+    @pytest.mark.parametrize(
+        "exact,dense", [(X_EXACT, X_DENSE), (T_EXACT, T_DENSE), (Z_EXACT, Z_DENSE)]
+    )
+    def test_common_gates(self, manager_factory, exact, dense):
+        manager = manager_factory(2)
+        gate = build_gate_dd(manager, exact_entries(manager, exact), 1)
+        np.testing.assert_allclose(manager.to_matrix(gate), embed(dense, 1, 2), atol=1e-9)
+
+    def test_gate_dd_is_linear_size(self, manager_factory):
+        manager = manager_factory(7)
+        gate = build_gate_dd(manager, exact_entries(manager, H_EXACT), 3)
+        assert manager.node_count(gate) == 7
+
+
+class TestControlledGates:
+    def test_cnot_control_above_target(self, manager_factory):
+        manager = manager_factory(2)
+        gate = build_gate_dd(manager, exact_entries(manager, X_EXACT), 1, controls=[0])
+        # Paper Example 2's CNOT matrix.
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        np.testing.assert_allclose(manager.to_matrix(gate), expected, atol=1e-12)
+
+    def test_cnot_control_below_target(self, manager_factory):
+        manager = manager_factory(2)
+        gate = build_gate_dd(manager, exact_entries(manager, X_EXACT), 0, controls=[1])
+        np.testing.assert_allclose(
+            manager.to_matrix(gate), embed(X_DENSE, 0, 2, controls=[1]), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("target,controls", [(0, [1, 2]), (1, [0, 2]), (2, [0, 1])])
+    def test_toffoli_all_layouts(self, manager_factory, target, controls):
+        manager = manager_factory(3)
+        gate = build_gate_dd(manager, exact_entries(manager, X_EXACT), target, controls=controls)
+        np.testing.assert_allclose(
+            manager.to_matrix(gate), embed(X_DENSE, target, 3, controls=controls), atol=1e-12
+        )
+
+    def test_negative_control(self, manager_factory):
+        manager = manager_factory(2)
+        gate = build_gate_dd(
+            manager, exact_entries(manager, X_EXACT), 1, negative_controls=[0]
+        )
+        np.testing.assert_allclose(
+            manager.to_matrix(gate), embed(X_DENSE, 1, 2, neg_controls=[0]), atol=1e-12
+        )
+
+    def test_mixed_controls(self, manager_factory):
+        manager = manager_factory(4)
+        gate = build_gate_dd(
+            manager,
+            exact_entries(manager, Z_EXACT),
+            2,
+            controls=[0, 3],
+            negative_controls=[1],
+        )
+        np.testing.assert_allclose(
+            manager.to_matrix(gate),
+            embed(Z_DENSE, 2, 4, controls=[0, 3], neg_controls=[1]),
+            atol=1e-12,
+        )
+
+    def test_multi_controlled_z_node_count(self, manager_factory):
+        """The Grover diffusion MCZ stays linear in the qubit count."""
+        manager = manager_factory(8)
+        gate = build_gate_dd(
+            manager, exact_entries(manager, Z_EXACT), 7, controls=list(range(7))
+        )
+        assert manager.node_count(gate) <= 3 * 8
+
+    def test_controlled_gate_is_unitary(self, manager_factory):
+        manager = manager_factory(3)
+        gate = build_gate_dd(
+            manager, exact_entries(manager, H_EXACT), 1, controls=[2], negative_controls=[0]
+        )
+        dense = manager.to_matrix(gate)
+        np.testing.assert_allclose(dense @ dense.conj().T, np.eye(8), atol=1e-9)
+
+
+class TestValidation:
+    def test_target_cannot_be_control(self, manager_factory):
+        manager = manager_factory(2)
+        with pytest.raises(CircuitError):
+            build_gate_dd(manager, exact_entries(manager, X_EXACT), 0, controls=[0])
+
+    def test_conflicting_controls(self, manager_factory):
+        manager = manager_factory(3)
+        with pytest.raises(CircuitError):
+            build_gate_dd(
+                manager, exact_entries(manager, X_EXACT), 0, controls=[1], negative_controls=[1]
+            )
+
+    def test_out_of_range_qubit(self, manager_factory):
+        manager = manager_factory(2)
+        with pytest.raises(CircuitError):
+            build_gate_dd(manager, exact_entries(manager, X_EXACT), 5)
+
+    def test_wrong_entry_count(self, manager_factory):
+        manager = manager_factory(2)
+        with pytest.raises(CircuitError):
+            build_gate_dd(manager, exact_entries(manager, X_EXACT)[:3], 0)
+
+
+class TestDiagonal:
+    def test_phase_diagonal(self, manager_factory):
+        manager = manager_factory(2)
+        omega = manager.system.from_domega(DOmega.omega_power(1))
+        diagonal = build_diagonal_dd(manager, {0: omega, 1: omega})
+        dense = manager.to_matrix(diagonal)
+        phases = np.exp(1j * math.pi / 4 * np.array([0, 1, 1, 2]))
+        np.testing.assert_allclose(dense, np.diag(phases), atol=1e-9)
+
+    def test_empty_diagonal_is_identity(self, manager_factory):
+        manager = manager_factory(3)
+        diagonal = build_diagonal_dd(manager, {})
+        assert manager.edges_equal(diagonal, manager.identity())
+
+
+class TestComposition:
+    def test_hh_is_identity(self, manager_factory):
+        """H*H = I -- with eps = 0, (1/sqrt2)^2 * 2 != 1 in doubles, so
+        only tolerant or algebraic representations recognise identity
+        structurally (the paper's Example 4)."""
+        manager = manager_factory(3)
+        h = build_gate_dd(manager, exact_entries(manager, H_EXACT), 1)
+        product = manager.mat_mat(h, h)
+        if manager_factory.kind in ("numeric", "numeric-maxnorm"):
+            np.testing.assert_allclose(manager.to_matrix(product), np.eye(8), atol=1e-12)
+        else:
+            assert manager.edges_equal(product, manager.identity())
+
+    def test_t8_is_identity(self, manager_factory):
+        """T^8 = I -- recognised *structurally* only by the algebraic
+        systems; floating point may leave a 1+2^-52 residue (this is the
+        paper's core observation)."""
+        manager = manager_factory(2)
+        t = build_gate_dd(manager, exact_entries(manager, T_EXACT), 0)
+        accumulator = manager.identity()
+        for _ in range(8):
+            accumulator = manager.mat_mat(t, accumulator)
+        if manager_factory.kind.startswith("algebraic"):
+            assert manager.edges_equal(accumulator, manager.identity())
+        else:
+            np.testing.assert_allclose(manager.to_matrix(accumulator), np.eye(4), atol=1e-12)
+
+    def test_bell_state_preparation(self, manager_factory):
+        manager = manager_factory(2)
+        h = build_gate_dd(manager, exact_entries(manager, H_EXACT), 0)
+        cx = build_gate_dd(manager, exact_entries(manager, X_EXACT), 1, controls=[0])
+        state = manager.mat_vec(cx, manager.mat_vec(h, manager.zero_state()))
+        dense = manager.to_statevector(state)
+        expected = np.array([1, 0, 0, 1]) / SQRT2
+        np.testing.assert_allclose(dense, expected, atol=1e-12)
+        # Bell state: root plus one distinct node per branch ([1,0], [0,1]).
+        assert manager.node_count(state) == 3

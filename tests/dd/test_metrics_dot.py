@@ -1,0 +1,102 @@
+"""Tests for DD metrics collection and DOT export."""
+
+import math
+
+import pytest
+
+from repro.dd.gatebuild import build_gate_dd
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.dd.metrics import collect_metrics, count_trivial_weights
+from repro.dd.dot import to_dot
+from repro.rings.domega import DOmega
+
+H_EXACT = (
+    DOmega.one_over_sqrt2(),
+    DOmega.one_over_sqrt2(),
+    DOmega.one_over_sqrt2(),
+    -DOmega.one_over_sqrt2(),
+)
+
+
+def exact(manager, entries):
+    return tuple(manager.system.from_domega(e) for e in entries)
+
+
+class TestMetrics:
+    def test_basis_state_metrics(self):
+        manager = algebraic_manager(4)
+        metrics = collect_metrics(manager, manager.basis_state(5))
+        assert metrics.node_count == 4
+        assert metrics.edge_count == 5  # root edge + one per level
+        assert metrics.trivial_weights == 5
+        assert metrics.max_bit_width == 1
+
+    def test_trivial_fraction_qomega_at_least_half(self):
+        """Paper Section V-B: the Q[omega] normalisation keeps >= half of
+        the edge weights trivial."""
+        manager = algebraic_manager(4)
+        state = manager.zero_state()
+        h = exact(manager, H_EXACT)
+        for qubit in range(4):
+            state = manager.mat_vec(build_gate_dd(manager, h, qubit), state)
+        cx = (manager.system.zero, manager.system.one, manager.system.one, manager.system.zero)
+        for qubit in range(3):
+            state = manager.mat_vec(
+                build_gate_dd(manager, cx, qubit + 1, controls=[qubit]), state
+            )
+        metrics = collect_metrics(manager, state)
+        assert metrics.trivial_weight_fraction >= 0.5
+
+    def test_bit_width_zero_for_numeric(self):
+        manager = numeric_manager(3)
+        state = manager.basis_state(1)
+        assert collect_metrics(manager, state).max_bit_width == 0
+
+    def test_bit_width_grows_for_gcd(self):
+        manager = algebraic_gcd_manager(2)
+        weights = [manager.system.from_domega(DOmega.from_int(n)) for n in (3, 5, 7, 1)]
+        state = manager.vector_from_weights(weights)
+        assert collect_metrics(manager, state).max_bit_width >= 3
+
+    def test_count_trivial_weights(self):
+        manager = algebraic_manager(2)
+        trivial, total = count_trivial_weights(manager, manager.basis_state(0))
+        assert trivial == total == 3
+
+    def test_zero_edge_metrics(self):
+        manager = algebraic_manager(2)
+        metrics = collect_metrics(manager, manager.zero_edge())
+        assert metrics.node_count == 0
+        assert metrics.trivial_weight_fraction == 0.0 or metrics.edge_count == 1
+
+
+class TestDot:
+    def test_dot_contains_structure(self):
+        manager = algebraic_manager(2)
+        gate = build_gate_dd(manager, exact(manager, H_EXACT), 0)
+        dot = to_dot(manager, gate, name="fig1c")
+        assert dot.startswith("digraph fig1c {")
+        assert "terminal" in dot
+        assert "q0" in dot and "q1" in dot
+        assert "0.7071" in dot  # the extracted 1/sqrt2 root factor
+
+    def test_dot_zero_stubs(self):
+        manager = numeric_manager(1)
+        t = build_gate_dd(
+            manager,
+            (
+                manager.system.one,
+                manager.system.zero,
+                manager.system.zero,
+                manager.system.from_complex(1j),
+            ),
+            0,
+        )
+        dot = to_dot(manager, t)
+        assert "style=dashed" in dot  # zero edges drawn as stubs
+        assert "1i" in dot
+
+    def test_dot_terminal_edge(self):
+        manager = algebraic_manager(1)
+        dot = to_dot(manager, manager.one_edge())
+        assert "root -> terminal" in dot

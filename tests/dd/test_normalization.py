@@ -1,0 +1,193 @@
+"""Normalisation-scheme invariants (paper Algorithms 2 and 3, and the
+numeric variants of Section II-B / [29])."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd.number_system import (
+    AlgebraicGcdSystem,
+    AlgebraicQOmegaSystem,
+    NumericSystem,
+)
+from repro.errors import DDError
+from repro.rings.domega import DOmega
+from repro.rings.qomega import QOmega
+from repro.rings.zomega import ZOmega
+
+small_ints = st.integers(min_value=-4, max_value=4)
+small_domegas = st.builds(
+    DOmega.from_coefficients, small_ints, small_ints, small_ints, small_ints,
+    st.integers(min_value=0, max_value=2),
+)
+weight_tuples = st.tuples(small_domegas, small_domegas, small_domegas, small_domegas).filter(
+    lambda t: any(not w.is_zero() for w in t)
+)
+
+# D[omega] units for the canonicity checks.
+units = st.sampled_from(
+    [
+        DOmega.one_over_sqrt2(),
+        DOmega.omega_power(1),
+        DOmega.omega_power(5),
+        DOmega.from_int(-1),
+        DOmega.from_coefficients(0, 0, 1, 1),
+    ]
+)
+
+
+class TestAlgorithm2QOmega:
+    system = AlgebraicQOmegaSystem()
+
+    @given(weight_tuples)
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction(self, weights):
+        imported = tuple(QOmega.from_domega(w) for w in weights)
+        eta, normalized = self.system.normalize(imported)
+        for original, norm in zip(imported, normalized):
+            assert eta * norm == original
+
+    @given(weight_tuples)
+    @settings(max_examples=60, deadline=None)
+    def test_leftmost_nonzero_is_one(self, weights):
+        imported = tuple(QOmega.from_domega(w) for w in weights)
+        _, normalized = self.system.normalize(imported)
+        leftmost = next(w for w in normalized if not w.is_zero())
+        assert leftmost.is_one()
+
+    @given(weight_tuples, small_domegas.filter(bool))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_under_scaling(self, weights, factor):
+        """Scaled weight tuples normalise to the identical tuple -- the
+        property that lets QMDDs share scalar-multiple sub-matrices."""
+        imported = tuple(QOmega.from_domega(w) for w in weights)
+        scaled = tuple(QOmega.from_domega(factor) * w for w in imported)
+        _, normalized_a = self.system.normalize(imported)
+        _, normalized_b = self.system.normalize(scaled)
+        assert normalized_a == normalized_b
+
+    def test_all_zero_raises(self):
+        with pytest.raises(DDError):
+            self.system.normalize((QOmega.zero(),) * 4)
+
+    def test_from_complex_rejected(self):
+        with pytest.raises(DDError):
+            self.system.from_complex(0.3 + 0.1j)
+
+    def test_odd_denominator_appears(self):
+        """Dividing by 3 legitimately introduces an odd denominator --
+        the reason Algorithm 2 moves to Q[omega]."""
+        three = QOmega.from_int(3)
+        one = QOmega.one()
+        eta, normalized = self.system.normalize((three, one, one, one))
+        assert eta == three
+        assert normalized[1].e == 3
+
+
+class TestAlgorithm3Gcd:
+    system = AlgebraicGcdSystem()
+
+    @given(weight_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction(self, weights):
+        eta, normalized = self.system.normalize(weights)
+        for original, norm in zip(weights, normalized):
+            assert eta * norm == original
+
+    @given(weight_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_weights_stay_in_domega(self, weights):
+        """The whole point of the GCD scheme: no odd denominators ever."""
+        _, normalized = self.system.normalize(weights)
+        for weight in normalized:
+            assert isinstance(weight, DOmega)
+
+    @given(weight_tuples, units)
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_under_unit_scaling(self, weights, unit):
+        scaled = tuple(w * unit for w in weights)
+        _, normalized_a = self.system.normalize(weights)
+        _, normalized_b = self.system.normalize(scaled)
+        assert normalized_a == normalized_b
+
+    @given(weight_tuples, small_domegas.filter(bool))
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_under_arbitrary_scaling(self, weights, factor):
+        scaled = tuple(w * factor for w in weights)
+        _, normalized_a = self.system.normalize(weights)
+        _, normalized_b = self.system.normalize(scaled)
+        assert normalized_a == normalized_b
+
+    @given(weight_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_weights_coprime(self, weights):
+        """After factoring out the GCD no common non-unit divisor remains."""
+        _, normalized = self.system.normalize(weights)
+        residual = DOmega.gcd([w for w in normalized if not w.is_zero()])
+        assert residual.is_unit()
+
+    def test_single_weight_becomes_canonical_unit(self):
+        eta, normalized = self.system.normalize(
+            (DOmega.zero(), DOmega.from_coefficients(0, 0, 1, 1), DOmega.zero(), DOmega.zero())
+        )
+        assert normalized[1].is_one()
+        assert eta == DOmega.from_coefficients(0, 0, 1, 1)
+
+
+class TestNumericSchemes:
+    def test_leftmost_scheme(self):
+        system = NumericSystem(eps=0.0, normalization="leftmost")
+        w = tuple(system.from_complex(value) for value in (0.0, 0.5j, 0.25, -1.0))
+        eta, normalized = system.normalize(w)
+        assert system.to_complex(eta) == 0.5j
+        assert system.is_zero(normalized[0])
+        assert system.is_one(normalized[1])
+
+    def test_max_magnitude_scheme_bounds_weights(self):
+        system = NumericSystem(eps=0.0, normalization="max-magnitude")
+        w = tuple(system.from_complex(value) for value in (0.1, 0.5j, -2.0, 0.25))
+        eta, normalized = system.normalize(w)
+        assert system.to_complex(eta) == -2.0
+        assert all(abs(system.to_complex(weight)) <= 1.0 + 1e-12 for weight in normalized)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            NumericSystem(normalization="weird")
+
+    def test_all_zero_raises(self):
+        system = NumericSystem()
+        with pytest.raises(DDError):
+            system.normalize((system.zero,) * 4)
+
+    def test_tolerant_normalization_snaps(self):
+        """With a large eps, normalisation results snap onto anchors --
+        the compactness-through-loss mechanism of Example 5."""
+        system = NumericSystem(eps=1e-2)
+        w = tuple(
+            system.from_complex(value) for value in (0.5, 0.501, 0.25, 0.0)
+        )
+        # 0.501 was already identified with 0.5 at import time.
+        assert w[0] is w[1]
+        _, normalized = system.normalize(w)
+        assert system.is_one(normalized[1])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1, max_value=1).filter(
+                lambda v: v == 0.0 or abs(v) > 1e-6  # avoid subnormal pivots
+            ),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    def test_reconstruction_up_to_float_error(self, values):
+        if all(abs(v) < 1e-9 for v in values):
+            return
+        system = NumericSystem(eps=0.0)
+        w = tuple(system.from_complex(complex(v, 0)) for v in values)
+        eta, normalized = system.normalize(w)
+        for original, norm in zip(w, normalized):
+            reconstructed = system.to_complex(eta) * system.to_complex(norm)
+            assert abs(reconstructed - system.to_complex(original)) < 1e-9

@@ -1,0 +1,113 @@
+"""Tests for lossless DD serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.dd.serialize import dump, dumps, load, loads
+from repro.errors import DDError
+from repro.sim.simulator import Simulator
+
+
+class TestVectorRoundtrip:
+    def test_algebraic_bit_exact(self):
+        manager = algebraic_manager(4)
+        state = Simulator(manager).run(grover_circuit(4, 9, iterations=2)).state
+        text = dumps(manager, state)
+        fresh = algebraic_manager(4)
+        restored = loads(fresh, text)
+        # Exact equality of every amplitude in the ring.
+        for index in range(16):
+            assert fresh.amplitude(restored, index) == manager.amplitude(state, index)
+
+    def test_reload_into_same_manager_gives_same_node(self):
+        manager = algebraic_manager(3)
+        state = Simulator(manager).run(Circuit(3).h(0).t(0).cx(0, 1)).state
+        restored = loads(manager, dumps(manager, state))
+        assert manager.edges_equal(restored, state)
+        assert restored.node is state.node  # canonical re-interning
+
+    def test_gcd_system_roundtrip(self):
+        manager = algebraic_gcd_manager(3)
+        state = Simulator(manager).run(Circuit(3).h(0).cx(0, 1).t(2)).state
+        fresh = algebraic_gcd_manager(3)
+        restored = loads(fresh, dumps(manager, state))
+        np.testing.assert_allclose(
+            fresh.to_statevector(restored), manager.to_statevector(state), atol=1e-12
+        )
+
+    def test_numeric_roundtrip(self):
+        manager = numeric_manager(3, eps=1e-10)
+        state = Simulator(manager).run(Circuit(3).h(0).t(1).cx(1, 2)).state
+        fresh = numeric_manager(3, eps=1e-10)
+        restored = loads(fresh, dumps(manager, state))
+        np.testing.assert_allclose(
+            fresh.to_statevector(restored), manager.to_statevector(state), atol=1e-12
+        )
+
+    def test_zero_and_terminal_edges(self):
+        manager = algebraic_manager(2)
+        zero = manager.zero_edge()
+        assert manager.is_zero_edge(loads(manager, dumps(manager, zero)))
+        one = manager.one_edge()
+        restored = loads(manager, dumps(manager, one))
+        assert manager.system.is_one(restored.weight)
+
+
+class TestMatrixRoundtrip:
+    def test_unitary_roundtrip(self):
+        manager = algebraic_manager(3)
+        unitary = Simulator(manager).unitary(Circuit(3).h(0).ccx(0, 1, 2).t(1))
+        fresh = algebraic_manager(3)
+        restored = loads(fresh, dumps(manager, unitary))
+        np.testing.assert_allclose(
+            fresh.to_matrix(restored), manager.to_matrix(unitary), atol=1e-12
+        )
+
+    def test_identity_roundtrip_structural(self):
+        manager = algebraic_manager(4)
+        restored = loads(manager, dumps(manager, manager.identity()))
+        assert manager.edges_equal(restored, manager.identity())
+
+
+class TestFileIO:
+    def test_dump_and_load(self, tmp_path):
+        manager = algebraic_manager(2)
+        state = Simulator(manager).run(Circuit(2).h(0).cx(0, 1)).state
+        path = tmp_path / "bell.qmdd.json"
+        dump(manager, state, str(path))
+        restored = load(manager, str(path))
+        assert manager.edges_equal(restored, state)
+
+
+class TestValidation:
+    def test_system_mismatch(self):
+        manager = algebraic_manager(2)
+        text = dumps(manager, manager.basis_state(0))
+        with pytest.raises(DDError):
+            loads(numeric_manager(2), text)
+
+    def test_width_mismatch(self):
+        manager = algebraic_manager(2)
+        text = dumps(manager, manager.basis_state(0))
+        with pytest.raises(DDError):
+            loads(algebraic_manager(3), text)
+
+    def test_bad_format_version(self):
+        manager = algebraic_manager(2)
+        with pytest.raises(DDError):
+            loads(manager, '{"format": 99}')
+
+    def test_huge_coefficients_survive(self):
+        """GSE-scale bit-widths (hundreds of bits) serialise exactly --
+        JSON integers are arbitrary precision in Python."""
+        from repro.rings.qomega import QOmega
+        from repro.rings.zomega import ZOmega
+
+        manager = algebraic_manager(1)
+        big = QOmega(ZOmega(3**100, -(2**200), 5**80, 7**70), 41, 3**60)
+        state = manager.vector_from_weights([manager.system.one, big])
+        restored = loads(manager, dumps(manager, state))
+        assert manager.edges_equal(restored, state)

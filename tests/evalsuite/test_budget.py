@@ -1,0 +1,38 @@
+"""Tests for the Clifford+T approximation-budget ablation."""
+
+import pytest
+
+from repro.evalsuite.budget import approximation_budget_sweep
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return approximation_budget_sweep(
+        num_sites=2, precision_bits=2, budgets=(500, 2000)
+    )
+
+
+class TestBudgetSweep:
+    def test_row_per_budget(self, rows):
+        assert [row.max_words for row in rows] == [500, 2000]
+
+    def test_overlap_reasonable(self, rows):
+        """Even the small budget keeps the compiled circuit close to the
+        ideal rotations on this small instance."""
+        assert all(row.overlap_with_ideal > 0.7 for row in rows)
+        assert all(row.overlap_with_ideal <= 1.0 + 1e-9 for row in rows)
+
+    def test_larger_budget_not_worse(self, rows):
+        """A superset search space can only improve (or tie) the
+        per-rotation error, hence the state overlap up to cross terms;
+        allow a small slack for interference between rotations."""
+        assert rows[1].overlap_with_ideal >= rows[0].overlap_with_ideal - 0.05
+
+    def test_bit_widths_substantial(self, rows):
+        """Any budget produces the bit-width growth behind Fig. 5."""
+        assert all(row.max_bit_width > 8 for row in rows)
+
+    def test_costs_recorded(self, rows):
+        assert all(row.algebraic_seconds > 0 for row in rows)
+        assert all(row.t_count > 0 for row in rows)
+        assert all(row.gate_count >= row.t_count for row in rows)

@@ -1,0 +1,141 @@
+"""Integration tests: the paper's qualitative claims on small instances.
+
+These run the actual figure drivers at reduced sizes and assert the
+shape checks the paper's evaluation section states in prose.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.evalsuite.ablation import run_normalization_ablation
+from repro.evalsuite.experiments import (
+    fig2_gse_size,
+    fig3_grover,
+    fig4_bwt,
+    fig5_gse,
+    shape_checks,
+)
+
+SMALL_WORDS = 2000
+
+
+@pytest.fixture(scope="module")
+def grover_result():
+    return fig3_grover(num_qubits=6)
+
+
+@pytest.fixture(scope="module")
+def bwt_result():
+    return fig4_bwt(depth=1, steps=4)
+
+
+@pytest.fixture(scope="module")
+def gse_result():
+    return fig5_gse(num_sites=2, precision_bits=2, max_words=SMALL_WORDS)
+
+
+class TestFig3Grover:
+    def test_shapes(self, grover_result):
+        checks = shape_checks(grover_result)
+        assert checks["high_accuracy_is_largest"]
+        assert checks["algebraic_not_larger_than_eps0"]
+        assert checks["large_eps_corrupts"]
+        assert checks["moderate_eps_accurate"]
+        assert checks["algebraic_exact"]
+
+    def test_error_grows_roughly_linearly_for_fine_eps(self, grover_result):
+        """Section V-A: 'for a sufficiently small tolerance value the
+        error indeed scales linearly with the number of applied gates'
+        -- check it at least grows and stays tiny."""
+        errors = [e for e in grover_result.error_series("eps=0") if e is not None]
+        assert errors[-1] < 1e-10
+        assert errors[-1] >= errors[0]
+
+    def test_algebraic_overhead_is_moderate(self, grover_result):
+        """Section V-B: algebraic vs redundancy-exploiting numeric is a
+        small constant factor (paper: ~2x; allow slack for Python)."""
+        algebraic = grover_result.traces["algebraic"].total_seconds
+        numeric = grover_result.traces["eps=1e-10"].total_seconds
+        assert algebraic < 25 * numeric
+
+    def test_algebraic_not_slower_than_eps0_blowup(self, grover_result):
+        """The headline win: exact without paying the eps = 0 blow-up.
+
+        At this small size the two run-times are close (the exponential
+        gap opens with the qubit count -- see bench_scaling); assert the
+        algebraic run at least does not lose by more than a small
+        factor despite exact arithmetic.
+        """
+        assert (
+            grover_result.traces["algebraic"].total_seconds
+            < 1.5 * grover_result.traces["eps=0"].total_seconds
+        )
+
+
+class TestFig4Bwt:
+    def test_shapes(self, bwt_result):
+        checks = shape_checks(bwt_result)
+        assert checks["algebraic_exact"]
+        assert checks.get("algebraic_not_larger_than_eps0", True)
+
+    def test_fine_eps_accurate(self, bwt_result):
+        errors = [e for e in bwt_result.error_series("eps=1e-10") if e is not None]
+        assert errors[-1] < 1e-6
+
+
+class TestFig5Gse:
+    def test_shapes(self, gse_result):
+        checks = shape_checks(gse_result)
+        assert checks["algebraic_exact"]
+        assert checks["algebraic_not_larger_than_eps0"]
+
+    def test_bit_width_growth_is_the_overhead_mechanism(self, gse_result):
+        """Section V-B: GSE blows up the integer bit-widths (unlike
+        Grover/BWT where they stay tiny)."""
+        widths = gse_result.bit_width_series("algebraic")
+        assert max(widths) > 16
+
+    def test_gse_slower_per_gate_than_numeric(self, gse_result):
+        """The paper's Fig. 5c: the algebraic run-time overhead on GSE is
+        far beyond the ~2x of Grover/BWT."""
+        algebraic = gse_result.traces["algebraic"].total_seconds
+        fastest_numeric = min(
+            gse_result.traces[c].total_seconds
+            for c in gse_result.configurations()
+            if c.startswith("eps=")
+        )
+        assert algebraic > fastest_numeric
+
+
+class TestFig2:
+    def test_fig2_epsilon_set(self):
+        result = fig2_gse_size(num_sites=2, precision_bits=2, max_words=SMALL_WORDS)
+        assert "eps=0.001" in result.configurations()
+        assert "eps=0" in result.configurations()
+
+
+class TestAblation:
+    def test_normalization_ablation_rows(self):
+        rows = run_normalization_ablation(grover_circuit(4, 5), include_gcd=True)
+        schemes = [row.scheme for row in rows]
+        assert schemes[0].startswith("algebraic-q")
+        assert any("gcd" in s for s in schemes)
+        assert any("max-magnitude" in s for s in schemes)
+
+    def test_qomega_keeps_half_weights_trivial(self):
+        """Section V-B: 'at least half of the occurring edge weights are
+        trivial' under the Q[omega] scheme."""
+        rows = run_normalization_ablation(grover_circuit(4, 5), include_gcd=True)
+        by_scheme = {row.scheme: row for row in rows}
+        q_row = by_scheme["algebraic-q (Alg.2)"]
+        assert q_row.trivial_weight_fraction >= 0.5
+
+    def test_gcd_has_fewer_trivial_weights(self):
+        """Section V-B: the GCD scheme 'obtains ... very few trivial edge
+        weights' in comparison."""
+        rows = run_normalization_ablation(grover_circuit(4, 5), include_gcd=True)
+        by_scheme = {row.scheme: row for row in rows}
+        assert (
+            by_scheme["algebraic-gcd (Alg.3)"].trivial_weight_fraction
+            <= by_scheme["algebraic-q (Alg.2)"].trivial_weight_fraction
+        )

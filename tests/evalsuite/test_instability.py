@@ -1,0 +1,59 @@
+"""Tests for the error-peak instability analysis (paper Fig. 3b)."""
+
+import pytest
+
+from repro.evalsuite.instability import analyze_error_series
+
+
+class TestAnalyzeErrorSeries:
+    def test_smooth_linear_growth_is_stable(self):
+        series = [1e-16 * (i + 1) for i in range(200)]
+        report = analyze_error_series(series)
+        assert not report.is_unstable
+        assert report.num_peaks == 0
+        assert report.samples == 200
+
+    def test_isolated_peak_detected(self):
+        series = [1e-15] * 100
+        series[40] = 1e-9  # a 10^6 spike
+        report = analyze_error_series(series)
+        assert report.is_unstable
+        assert 40 in report.peak_indices
+        assert report.peak_factor > 1e5
+
+    def test_multiple_peaks(self):
+        series = [1e-14] * 300
+        for index in (50, 150, 250):
+            series[index] = 1e-8
+        report = analyze_error_series(series)
+        assert report.num_peaks == 3
+        assert report.peak_indices == (50, 150, 250)
+
+    def test_none_entries_skipped(self):
+        series = [None, 1e-15, None, 1e-15, 1e-15]
+        report = analyze_error_series(series)
+        assert report.samples == 3
+
+    def test_empty_series(self):
+        report = analyze_error_series([])
+        assert report.samples == 0
+        assert not report.is_unstable
+
+    def test_all_zero_series(self):
+        report = analyze_error_series([0.0] * 50)
+        assert not report.is_unstable
+        assert report.median_error == 0.0
+
+    def test_threshold_configurable(self):
+        series = [1e-15] * 60
+        series[30] = 5e-14  # a 50x bump
+        strict = analyze_error_series(series, threshold=10.0)
+        lax = analyze_error_series(series, threshold=100.0)
+        assert strict.num_peaks == 1
+        assert lax.num_peaks == 0
+
+    def test_median_and_max(self):
+        series = [2.0, 4.0, 6.0]
+        report = analyze_error_series(series, threshold=1e9)
+        assert report.median_error == pytest.approx(4.0)
+        assert report.max_error == pytest.approx(6.0)

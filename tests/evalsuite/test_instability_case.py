@@ -1,0 +1,56 @@
+"""A concrete numerical-instability case study (paper Fig. 3b / [29]).
+
+During the 7-qubit Grover run at ``eps = 1e-20`` with the original
+leftmost-pivot normalisation, a ~5e-16 cancellation residual becomes a
+normalisation pivot; dividing by it blows edge weights up to ~1e16 and
+the next Hadamard destroys the state (error ~0.72).  The
+largest-magnitude normalisation of [29] -- whose stated purpose is to
+keep all weights at absolute value <= 1 "which can increase the
+numerical stability" -- avoids the blow-up entirely.  This test pins
+both behaviours.
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.sim.accuracy import state_error
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuit = grover_circuit(7, 85)
+    reference_manager = algebraic_manager(7)
+    reference = reference_manager.to_statevector(
+        Simulator(reference_manager).run(circuit).state
+    )
+    return circuit, reference
+
+
+class TestLeftmostPivotInstability:
+    def test_leftmost_normalisation_diverges(self, setup):
+        """The instability event the paper attributes to fine-eps runs
+        ('peaks ... indicate an undesired numerical instability in the
+        multiplication algorithm')."""
+        circuit, reference = setup
+        manager = numeric_manager(7, eps=1e-20, normalization="leftmost")
+        result = Simulator(manager).run(circuit)
+        error = state_error(result.final_amplitudes(), reference)
+        assert error > 0.1  # catastrophic, not a rounding wobble
+
+    def test_max_magnitude_normalisation_recovers(self, setup):
+        """[29]'s variant keeps |weights| <= 1 and stays accurate."""
+        circuit, reference = setup
+        manager = numeric_manager(7, eps=1e-20, normalization="max-magnitude")
+        result = Simulator(manager).run(circuit)
+        error = state_error(result.final_amplitudes(), reference)
+        assert error < 1e-10
+
+    def test_algebraic_is_immune(self, setup):
+        """Exact arithmetic has no pivots to blow up."""
+        circuit, reference = setup
+        manager = algebraic_manager(7)
+        result = Simulator(manager).run(circuit)
+        error = state_error(result.final_amplitudes(), reference)
+        assert error < 1e-12  # only the float conversion of the metric

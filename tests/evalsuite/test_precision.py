@@ -1,0 +1,71 @@
+"""Tests for the machine-precision floor experiment and single mode."""
+
+import math
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import numeric_manager
+from repro.evalsuite.precision import precision_floor_experiment
+from repro.numeric.complex_table import ComplexTable
+from repro.sim.simulator import Simulator
+
+
+class TestSinglePrecisionTable:
+    def test_rounding_through_binary32(self):
+        table = ComplexTable(eps=0.0, precision="single")
+        entry = table.lookup(complex(1 / math.sqrt(2), 0.0))
+        # binary32 has ~7 decimal digits; the stored value differs from
+        # the double by more than double-epsilon.
+        assert entry.value.real != 1 / math.sqrt(2)
+        assert abs(entry.value.real - 1 / math.sqrt(2)) < 1e-7
+
+    def test_values_identified_after_rounding(self):
+        """Two doubles that agree to binary32 intern identically."""
+        table = ComplexTable(eps=0.0, precision="single")
+        a = table.lookup(complex(0.1, 0.0))
+        b = table.lookup(complex(0.1 + 1e-12, 0.0))
+        assert a is b
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            ComplexTable(precision="half")
+
+    def test_manager_name_tagged(self):
+        manager = numeric_manager(2, precision="single")
+        assert "single" in manager.system.name
+
+
+class TestPrecisionFloor:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return precision_floor_experiment(grover_circuit(5, 21))
+
+    def test_both_precisions_reported(self, rows):
+        assert [row.precision for row in rows] == ["double", "single"]
+
+    def test_single_floor_much_higher(self, rows):
+        """Paper Section V-A: the error floor tracks machine precision.
+        binary32 vs binary64 is ~1e9 epsilon ratio; demand at least 1e4
+        separation on this short workload."""
+        by_precision = {row.precision: row for row in rows}
+        assert by_precision["single"].final_error > 1e4 * max(
+            by_precision["double"].final_error, 1e-18
+        )
+
+    def test_double_floor_is_tiny(self, rows):
+        assert rows[0].final_error < 1e-10
+
+    def test_single_still_functional(self, rows):
+        """Lower precision degrades accuracy, not correctness: the
+        result is still approximately right (small error in absolute
+        terms) on this short circuit."""
+        assert rows[1].final_error < 1e-2
+
+    def test_single_precision_simulation_compactness(self):
+        """Coarser floats can *help* compactness at eps = 0 -- more
+        accidental bit-equality.  Just assert it is not worse."""
+        circuit = grover_circuit(5, 21)
+        single = Simulator(numeric_manager(5, precision="single")).run(circuit)
+        double = Simulator(numeric_manager(5, precision="double")).run(circuit)
+        assert single.trace.peak_node_count <= double.trace.peak_node_count

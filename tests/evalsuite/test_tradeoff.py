@@ -1,0 +1,118 @@
+"""Tests for the trade-off experiment runner and reporting."""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit
+from repro.evalsuite.reporting import (
+    format_table,
+    render_series,
+    render_summary,
+    sample_indices,
+)
+from repro.evalsuite.tradeoff import run_tradeoff
+
+
+@pytest.fixture(scope="module")
+def grover_result():
+    return run_tradeoff(
+        grover_circuit(4, 9), epsilons=(0.0, 1e-10, 1e-3), include_gcd=True
+    )
+
+
+class TestRunTradeoff:
+    def test_all_configurations_present(self, grover_result):
+        assert set(grover_result.configurations()) == {
+            "algebraic",
+            "algebraic-gcd",
+            "eps=0",
+            "eps=1e-10",
+            "eps=0.001",
+        }
+
+    def test_series_lengths(self, grover_result):
+        for config in grover_result.configurations():
+            assert len(grover_result.node_series(config)) == grover_result.num_gates
+            assert len(grover_result.runtime_series(config)) == grover_result.num_gates
+
+    def test_errors_only_for_numeric(self, grover_result):
+        assert all(e is None for e in grover_result.error_series("algebraic"))
+        numeric_errors = grover_result.error_series("eps=0")
+        assert all(isinstance(e, float) for e in numeric_errors)
+
+    def test_runtime_monotone(self, grover_result):
+        for config in grover_result.configurations():
+            series = grover_result.runtime_series(config)
+            assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_exact_schemes_agree_on_sizes(self, grover_result):
+        """Both algebraic normalisations detect the same redundancies,
+        so their node counts coincide."""
+        assert grover_result.node_series("algebraic") == grover_result.node_series(
+            "algebraic-gcd"
+        )
+
+    def test_moderate_eps_matches_algebraic_size(self, grover_result):
+        assert (
+            grover_result.node_series("eps=1e-10")
+            == grover_result.node_series("algebraic")
+        )
+
+    def test_eps0_larger_than_algebraic(self, grover_result):
+        assert (
+            grover_result.traces["eps=0"].peak_node_count
+            > grover_result.traces["algebraic"].peak_node_count
+        )
+
+    def test_summary_rows(self, grover_result):
+        rows = grover_result.summary_rows()
+        assert len(rows) == 5
+        by_config = {row["config"]: row for row in rows}
+        assert by_config["algebraic"]["final_error"] == 0.0
+        assert by_config["eps=0"]["max_error"] < 1e-10
+
+    def test_errors_can_be_disabled(self):
+        result = run_tradeoff(
+            ghz_circuit(3), epsilons=(0.0,), compute_errors=False
+        )
+        assert all(e is None for e in result.error_series("eps=0"))
+
+    def test_dense_qubit_guard(self):
+        result = run_tradeoff(
+            ghz_circuit(3), epsilons=(0.0,), max_dense_qubits=2
+        )
+        assert all(e is None for e in result.error_series("eps=0"))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_format_cell_styles(self):
+        table = format_table(
+            ["x"], [[True], [None], [0.0], [1.5e-7], [123456.0], [3.14]]
+        )
+        assert "yes" in table and "-" in table and "1.50e-07" in table
+
+    def test_sample_indices(self):
+        assert sample_indices(5, 10) == [0, 1, 2, 3, 4]
+        indices = sample_indices(100, 5)
+        assert indices[0] == 0 and indices[-1] == 99
+        assert len(indices) == 5
+        assert sample_indices(0, 4) == []
+
+    def test_render_series_and_summary(self, grover_result):
+        for metric in ("nodes", "error", "seconds"):
+            text = render_series(grover_result, metric)
+            assert "algebraic" in text or metric == "error"
+            assert "eps=0" in text
+        summary = render_summary(grover_result)
+        assert "zero_collapse" in summary
+
+    def test_render_unknown_metric(self, grover_result):
+        with pytest.raises(ValueError):
+            render_series(grover_result, "bogus")

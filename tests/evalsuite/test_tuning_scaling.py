@@ -1,0 +1,94 @@
+"""Tests for the tuning-cost and scaling experiments."""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.circuits.library import ghz_circuit
+from repro.evalsuite.scaling import grover_scaling
+from repro.evalsuite.tradeoff import run_tradeoff
+from repro.evalsuite.tuning import error_growth, tune_epsilon
+
+
+class TestTuneEpsilon:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return tune_epsilon(grover_circuit(5, 21), error_target=1e-6)
+
+    def test_search_succeeds_on_grover(self, report):
+        assert report.succeeded
+        assert report.chosen_eps is not None
+        assert 0.0 <= report.chosen_eps <= 1e-4
+
+    def test_search_costs_multiple_full_runs(self, report):
+        """The paper's point: tuning = repeated full simulations."""
+        assert report.num_trials >= 2
+        assert report.total_seconds > 0
+        assert all(trial.seconds > 0 for trial in report.trials)
+
+    def test_coarse_candidates_fail_accuracy(self, report):
+        coarse = [trial for trial in report.trials if trial.eps >= 1e-3]
+        assert coarse, "grid should include coarse candidates"
+        assert not all(trial.meets_accuracy for trial in coarse)
+
+    def test_impossible_targets_reported(self):
+        """Demanding better-than-float accuracy cannot succeed -- the
+        'not guaranteed that the desired accuracy ... can be achieved
+        at all' case."""
+        report = tune_epsilon(
+            grover_circuit(4, 9), error_target=1e-30, grid=(1e-4, 1e-10, 0.0)
+        )
+        assert not report.succeeded
+        assert report.num_trials == 3
+
+    def test_node_budget_constraint(self):
+        """An absurdly tight compactness budget is unreachable too."""
+        report = tune_epsilon(
+            grover_circuit(4, 9), error_target=1.0, node_budget=1, grid=(1e-10, 0.0)
+        )
+        assert not report.succeeded
+
+    def test_exhaustive_mode(self):
+        report = tune_epsilon(
+            ghz_circuit(3), error_target=1e-6, grid=(1e-10, 1e-12, 0.0),
+            stop_at_first=False,
+        )
+        assert report.num_trials == 3
+
+
+class TestErrorGrowth:
+    def test_linear_series(self):
+        slope, r_squared = error_growth([i * 2.0 for i in range(50)])
+        assert slope == pytest.approx(2.0)
+        assert r_squared == pytest.approx(1.0)
+
+    def test_on_real_trace(self):
+        """Section V-A: eps = 0 errors grow ~linearly with gate count."""
+        result = run_tradeoff(grover_circuit(5, 21), epsilons=(0.0,))
+        slope, r_squared = error_growth(result.error_series("eps=0"))
+        assert slope > 0
+        assert r_squared > 0.5
+
+    def test_handles_none_entries(self):
+        slope, _ = error_growth([None, 1.0, None, 3.0])
+        assert slope == pytest.approx(1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            error_growth([1.0])
+
+    def test_constant_series(self):
+        slope, r_squared = error_growth([5.0] * 10)
+        assert slope == pytest.approx(0.0)
+        assert r_squared == pytest.approx(1.0)
+
+
+class TestScaling:
+    def test_grover_scaling_shapes(self):
+        """Algebraic peak grows slowly; eps = 0 peak tracks 2^n."""
+        rows = grover_scaling(qubit_range=(4, 5, 6))
+        assert [row.num_qubits for row in rows] == [4, 5, 6]
+        # Exact DDs stay tiny on Grover (two-valued state vector).
+        assert all(row.algebraic_peak <= 4 * row.num_qubits for row in rows)
+        # eps = 0 grows at least geometrically towards 2^n.
+        assert rows[-1].eps0_peak > rows[0].eps0_peak * 2
+        assert rows[-1].eps0_peak > rows[-1].algebraic_peak

@@ -1,0 +1,61 @@
+"""Tests for the verification-reliability study (paper Section V-B)."""
+
+import pytest
+
+from repro.evalsuite.verification_study import (
+    make_pairs,
+    verification_reliability,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return verification_reliability(epsilons=(0.0, 1e-10, 1e-2))
+
+
+class TestPairs:
+    def test_pair_construction(self):
+        equivalent, inequivalent = make_pairs(num_qubits=3, num_pairs=2, seed=1)
+        assert len(equivalent) == 2
+        assert len(inequivalent) == 2
+        for left, right in equivalent:
+            assert left.num_qubits == right.num_qubits
+
+    def test_equivalent_pairs_are_equivalent(self):
+        from repro.verify.equivalence import check_equivalence
+
+        equivalent, inequivalent = make_pairs(num_qubits=3, num_pairs=2, seed=2)
+        for left, right in equivalent:
+            assert check_equivalence(left, right)
+        for left, right in inequivalent:
+            assert not check_equivalence(left, right)
+
+
+class TestReliability:
+    def test_algebraic_sound_and_complete(self, rows):
+        algebraic = rows[0]
+        assert algebraic.config == "algebraic"
+        assert algebraic.is_sound_and_complete
+        assert algebraic.subtle_false_positives is None
+
+    def test_eps0_has_false_negatives(self, rows):
+        """Bit-exact floats miss rewrite equivalences (paper: tiny
+        deviations 'in a few of the least significant bits')."""
+        by_config = {row.config: row for row in rows}
+        assert by_config["eps=0"].false_negatives > 0
+
+    def test_coarse_eps_has_subtle_false_positives(self, rows):
+        """eps = 1e-2 declares circuits differing by a genuine 1e-4
+        rotation 'equivalent' -- the information-loss side."""
+        by_config = {row.config: row for row in rows}
+        assert by_config["eps=0.01"].subtle_false_positives > 0
+
+    def test_moderate_eps_clean_on_this_instance(self, rows):
+        """The sweet spot exists here -- but it had to be found, which
+        is the paper's complaint."""
+        by_config = {row.config: row for row in rows}
+        assert by_config["eps=1e-10"].is_sound_and_complete
+
+    def test_large_faults_always_detected(self, rows):
+        """No configuration misses the T -> Tdg faults (O(1) deviation)."""
+        assert all(row.false_positives == 0 for row in rows)

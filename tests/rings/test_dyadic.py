@@ -1,0 +1,108 @@
+"""Tests for canonical dyadic fractions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InexactDivisionError, ZeroDivisionRingError
+from repro.rings.dyadic import Dyadic
+
+dyadics = st.builds(
+    Dyadic,
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=0, max_value=12),
+)
+
+
+class TestCanonicalForm:
+    def test_zero_normalises(self):
+        assert Dyadic(0, 7).pair() == (0, 0)
+
+    def test_even_numerator_reduces(self):
+        assert Dyadic(4, 2).pair() == (1, 0)
+        assert Dyadic(6, 1).pair() == (3, 0)
+
+    def test_negative_exponent_scales_up(self):
+        assert Dyadic(3, -2).pair() == (12, 0)
+
+    @given(dyadics)
+    def test_canonical_invariant(self, x):
+        numerator, exponent = x.pair()
+        assert exponent >= 0
+        # Canonical: the fraction is fully reduced -- an even numerator
+        # only survives with exponent 0 (plain even integers).
+        assert numerator % 2 == 1 or exponent == 0
+
+    @given(dyadics)
+    def test_equality_respects_value(self, x):
+        doubled = Dyadic(x.numerator * 2, x.exponent + 1)
+        assert doubled == x
+        assert hash(doubled) == hash(x)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Dyadic(0.5)
+
+
+class TestArithmetic:
+    @given(dyadics, dyadics)
+    def test_add_matches_fractions(self, x, y):
+        assert (x + y).as_fraction() == x.as_fraction() + y.as_fraction()
+
+    @given(dyadics, dyadics)
+    def test_mul_matches_fractions(self, x, y):
+        assert (x * y).as_fraction() == x.as_fraction() * y.as_fraction()
+
+    @given(dyadics)
+    def test_sub_self_is_zero(self, x):
+        assert (x - x).is_zero()
+
+    @given(dyadics)
+    def test_int_mixing(self, x):
+        assert x + 1 == x + Dyadic.one()
+        assert 2 * x == x + x
+        assert 1 - x == Dyadic.one() - x
+
+    def test_pow(self):
+        half = Dyadic(1, 1)
+        assert half**3 == Dyadic(1, 3)
+        with pytest.raises(ValueError):
+            half**-1
+
+    def test_ordering(self):
+        assert Dyadic(1, 2) < Dyadic(1, 1)
+        assert Dyadic(1, 1) <= Dyadic(2, 2)
+
+
+class TestDivision:
+    @given(dyadics, dyadics.filter(bool))
+    def test_product_roundtrip(self, x, y):
+        assert (x * y).exact_divide(y) == x
+
+    def test_inexact_raises(self):
+        with pytest.raises(InexactDivisionError):
+            Dyadic.one().exact_divide(Dyadic(3))
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionRingError):
+            Dyadic.one().exact_divide(Dyadic.zero())
+
+    def test_zero_dividend(self):
+        assert Dyadic.zero().exact_divide(Dyadic(5)) == Dyadic.zero()
+
+
+class TestConversions:
+    def test_from_fraction(self):
+        assert Dyadic.from_fraction(Fraction(3, 8)) == Dyadic(3, 3)
+        with pytest.raises(InexactDivisionError):
+            Dyadic.from_fraction(Fraction(1, 3))
+
+    @given(dyadics)
+    def test_float_roundtrip(self, x):
+        assert x.to_float() == float(x.as_fraction())
+
+    def test_str(self):
+        assert str(Dyadic(3)) == "3"
+        assert str(Dyadic(3, 2)) == "3/2^2"

@@ -1,0 +1,86 @@
+"""Tests for Euclidean division and GCDs in Z[omega]."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ZeroDivisionRingError
+from repro.rings.euclid import euclidean_divmod, gcd_many, gcd_zomega
+from repro.rings.zomega import ZOmega
+
+small_ints = st.integers(min_value=-30, max_value=30)
+zomegas = st.builds(ZOmega, small_ints, small_ints, small_ints, small_ints)
+nonzero = zomegas.filter(bool)
+
+
+class TestEuclideanDivision:
+    @given(zomegas, nonzero)
+    def test_division_identity(self, z1, z2):
+        quotient, remainder = euclidean_divmod(z1, z2)
+        assert quotient * z2 + remainder == z1
+
+    @given(zomegas, nonzero)
+    def test_remainder_norm_decreases(self, z1, z2):
+        _, remainder = euclidean_divmod(z1, z2)
+        assert remainder.euclidean_norm() < z2.euclidean_norm()
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionRingError):
+            euclidean_divmod(ZOmega.one(), ZOmega.zero())
+
+    def test_exact_quotient_has_zero_remainder(self):
+        z2 = ZOmega(1, 2, 3, 4)
+        product = z2 * ZOmega(0, 0, 1, 1)
+        quotient, remainder = euclidean_divmod(product, z2)
+        assert remainder.is_zero()
+        assert quotient == ZOmega(0, 0, 1, 1)
+
+    def test_paper_bound_on_typical_inputs(self):
+        # E(r) <= (9/16) E(z2) for nearest-integer rounding (Section IV-B).
+        z1 = ZOmega(5, -3, 2, 7)
+        z2 = ZOmega(1, 1, 0, 2)
+        _, remainder = euclidean_divmod(z1, z2)
+        assert 16 * remainder.euclidean_norm() <= 9 * z2.euclidean_norm()
+
+
+class TestGcd:
+    @given(nonzero, nonzero)
+    @settings(deadline=None)
+    def test_gcd_divides_both(self, z1, z2):
+        g = gcd_zomega(z1, z2)
+        assert g.divides(z1)
+        assert g.divides(z2)
+
+    @given(nonzero, nonzero, nonzero)
+    @settings(deadline=None)
+    def test_common_factor_detected(self, factor, z1, z2):
+        g = gcd_zomega(factor * z1, factor * z2)
+        # gcd is only defined up to units, so check divisibility instead
+        # of equality: factor must divide the gcd.
+        assert factor.divides(g)
+
+    def test_gcd_with_zero(self):
+        z = ZOmega(1, 2, 3, 4)
+        assert gcd_zomega(z, ZOmega.zero()) == z
+        assert gcd_zomega(ZOmega.zero(), z) == z
+        assert gcd_zomega(ZOmega.zero(), ZOmega.zero()).is_zero()
+
+    def test_coprime_elements_give_unit(self):
+        g = gcd_zomega(ZOmega.from_int(3), ZOmega.from_int(5))
+        assert g.is_unit()
+
+    def test_gcd_many(self):
+        factor = ZOmega(0, 0, 1, 2)
+        elements = [factor * ZOmega.from_int(n) for n in (2, 3, 5)]
+        g = gcd_many(*elements)
+        assert factor.divides(g)
+        assert all(g.divides(element) for element in elements)
+
+    def test_gcd_many_empty(self):
+        assert gcd_many().is_zero()
+
+    @given(nonzero)
+    def test_gcd_self(self, z):
+        g = gcd_zomega(z, z)
+        assert g.divides(z)
+        assert z.divides(g)

@@ -1,0 +1,131 @@
+"""Tests for exact 2x2 matrices over D[omega]."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RingError
+from repro.rings.domega import DOmega
+from repro.rings.matrix2 import Matrix2
+
+small_ints = st.integers(min_value=-3, max_value=3)
+domegas = st.builds(
+    DOmega.from_coefficients, small_ints, small_ints, small_ints, small_ints,
+    st.integers(min_value=0, max_value=3),
+)
+matrices = st.builds(Matrix2, domegas, domegas, domegas, domegas)
+
+GATES = [Matrix2.hadamard(), Matrix2.t_gate(), Matrix2.s_gate(), Matrix2.x_gate()]
+
+
+def dense(matrix):
+    return np.array(matrix.to_complex_tuple()).reshape(2, 2)
+
+
+class TestBasics:
+    def test_identity(self):
+        identity = Matrix2.identity()
+        np.testing.assert_allclose(dense(identity), np.eye(2))
+
+    def test_rejects_non_domega(self):
+        with pytest.raises(TypeError):
+            Matrix2(1, 0, 0, 1)
+
+    def test_immutable(self):
+        matrix = Matrix2.identity()
+        with pytest.raises(AttributeError):
+            matrix.a = DOmega.zero()
+
+    @pytest.mark.parametrize("gate", GATES)
+    def test_named_gates_unitary(self, gate):
+        assert gate.is_unitary()
+
+    def test_from_rows(self):
+        matrix = Matrix2.from_rows(
+            [[DOmega.one(), DOmega.zero()], [DOmega.zero(), DOmega.one()]]
+        )
+        assert matrix == Matrix2.identity()
+
+    def test_omega_phase(self):
+        phase = Matrix2.omega_phase(2)  # i * I
+        np.testing.assert_allclose(dense(phase), 1j * np.eye(2), atol=1e-12)
+
+
+class TestAlgebra:
+    @given(matrices, matrices)
+    @settings(max_examples=40)
+    def test_matmul_matches_dense(self, x, y):
+        np.testing.assert_allclose(
+            dense(x @ y), dense(x) @ dense(y), atol=1e-5, rtol=1e-6
+        )
+
+    @given(matrices)
+    @settings(max_examples=40)
+    def test_dagger_matches_dense(self, x):
+        np.testing.assert_allclose(dense(x.dagger()), dense(x).conj().T, atol=1e-7)
+
+    @given(matrices)
+    @settings(max_examples=40)
+    def test_det_matches_dense(self, x):
+        assert abs(x.det().to_complex() - np.linalg.det(dense(x))) < 1e-4
+
+    def test_scalar_multiplication(self):
+        scaled = Matrix2.identity() * DOmega.from_int(3)
+        assert scaled.a == DOmega.from_int(3)
+
+    def test_power(self):
+        assert Matrix2.t_gate().power(8) == Matrix2.identity()
+        assert Matrix2.t_gate().power(2) == Matrix2.s_gate()
+        with pytest.raises(RingError):
+            Matrix2.t_gate().power(-1)
+
+    def test_hadamard_involution(self):
+        h = Matrix2.hadamard()
+        assert h @ h == Matrix2.identity()
+
+
+class TestUnitarity:
+    def test_non_unitary_detected(self):
+        matrix = Matrix2(DOmega.from_int(2), DOmega.zero(), DOmega.zero(), DOmega.one())
+        assert not matrix.is_unitary()
+
+    @pytest.mark.parametrize("gate", GATES)
+    def test_products_of_gates_unitary(self, gate):
+        assert (gate @ Matrix2.hadamard() @ Matrix2.t_gate()).is_unitary()
+
+
+class TestSde:
+    def test_identity_sde_zero(self):
+        assert Matrix2.identity().sde() == 0
+
+    def test_hadamard_sde_one(self):
+        assert Matrix2.hadamard().sde() == 1
+        assert Matrix2.hadamard().column_sde(0) == 1
+        assert Matrix2.hadamard().column_sde(1) == 1
+
+    def test_sde_grows_with_t_layers(self):
+        matrix = Matrix2.identity()
+        for _ in range(4):
+            matrix = Matrix2.hadamard() @ Matrix2.t_gate() @ matrix
+        assert matrix.sde() >= 2
+
+    def test_column_validation(self):
+        with pytest.raises(ValueError):
+            Matrix2.identity().column_sde(2)
+
+    def test_unitary_columns_have_equal_sde(self):
+        """For an exact unitary the second column is a unit multiple of
+        the conjugate-reversed first column, so the sdes agree."""
+        matrix = Matrix2.hadamard() @ Matrix2.t_gate() @ Matrix2.hadamard()
+        assert matrix.column_sde(0) == matrix.column_sde(1)
+
+
+class TestHashing:
+    def test_equal_matrices_equal_hash(self):
+        a = Matrix2.hadamard() @ Matrix2.t_gate()
+        b = Matrix2.hadamard() @ Matrix2.t_gate()
+        assert a == b and hash(a) == hash(b)
+
+    def test_key_distinguishes(self):
+        assert Matrix2.t_gate().key() != Matrix2.s_gate().key()

@@ -1,0 +1,135 @@
+"""Tests for the real quadratic ring Z[sqrt2] and its unit reduction."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ZeroDivisionRingError
+from repro.rings.zsqrt2 import ZSqrt2, unit_reduce
+
+small_ints = st.integers(min_value=-100, max_value=100)
+zsqrt2s = st.builds(ZSqrt2, small_ints, small_ints)
+nonzero = zsqrt2s.filter(bool)
+
+SQRT2 = math.sqrt(2)
+
+
+def value_of(x: ZSqrt2) -> float:
+    return x.u + x.v * SQRT2
+
+
+class TestBasics:
+    def test_constants(self):
+        assert ZSqrt2.zero().is_zero()
+        assert ZSqrt2.one() == ZSqrt2(1, 0)
+        assert math.isclose(ZSqrt2.sqrt2().to_float(), SQRT2)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            ZSqrt2(1.5, 0)
+
+    def test_immutable(self):
+        x = ZSqrt2(1, 2)
+        with pytest.raises(AttributeError):
+            x.u = 3
+
+    def test_sqrt2_squares_to_two(self):
+        assert ZSqrt2.sqrt2() * ZSqrt2.sqrt2() == ZSqrt2(2, 0)
+
+    def test_int_comparison(self):
+        assert ZSqrt2(4, 0) == 4
+        assert ZSqrt2(4, 1) != 4
+
+    def test_str(self):
+        assert str(ZSqrt2(3, 0)) == "3"
+        assert str(ZSqrt2(0, 2)) == "2*sqrt2"
+        assert str(ZSqrt2(1, -1)) == "1 - 1*sqrt2"
+
+
+class TestArithmetic:
+    @given(zsqrt2s, zsqrt2s)
+    def test_add_mul_match_floats(self, x, y):
+        assert math.isclose(value_of(x + y), value_of(x) + value_of(y), abs_tol=1e-7)
+        assert math.isclose(value_of(x * y), value_of(x) * value_of(y), abs_tol=1e-4)
+
+    @given(zsqrt2s, zsqrt2s, zsqrt2s)
+    def test_ring_axioms(self, x, y, z):
+        assert (x + y) + z == x + (y + z)
+        assert x * y == y * x
+        assert x * (y + z) == x * y + x * z
+
+    @given(zsqrt2s)
+    def test_neg_and_sub(self, x):
+        assert (x - x).is_zero()
+        assert x + (-x) == ZSqrt2.zero()
+
+    def test_pow(self):
+        lam = ZSqrt2.fundamental_unit()
+        assert lam**2 == ZSqrt2(3, 2)
+        assert lam**0 == ZSqrt2.one()
+
+
+class TestNormAndUnits:
+    @given(zsqrt2s, zsqrt2s)
+    def test_norm_multiplicative(self, x, y):
+        assert (x * y).norm() == x.norm() * y.norm()
+
+    @given(zsqrt2s)
+    def test_norm_via_conjugate(self, x):
+        assert x * x.conj() == ZSqrt2(x.norm(), 0)
+
+    def test_fundamental_unit_norm(self):
+        assert ZSqrt2.fundamental_unit().norm() == -1
+        assert ZSqrt2.fundamental_unit().is_unit()
+
+    def test_non_units(self):
+        assert not ZSqrt2(3, 0).is_unit()
+        assert not ZSqrt2.sqrt2().is_unit()  # norm -2
+
+    @given(nonzero)
+    def test_inverse_as_fractions(self, x):
+        if x.norm() == 0:
+            return
+        u, v = x.inverse_as_fractions()
+        inverse_value = float(u) + float(v) * SQRT2
+        assert math.isclose(inverse_value * value_of(x), 1.0, abs_tol=1e-6)
+
+    def test_inverse_of_zero_norm_raises(self):
+        with pytest.raises(ZeroDivisionRingError):
+            ZSqrt2(0, 0).inverse_as_fractions()
+
+
+class TestUnitReduce:
+    @given(zsqrt2s)
+    def test_reduction_reconstructs(self, x):
+        reduced, exponent = unit_reduce(x)
+        lam = ZSqrt2.fundamental_unit()
+        if exponent >= 0:
+            assert reduced * lam**exponent == x
+        else:
+            # x * lam**(-exponent) == reduced
+            assert x * lam ** (-exponent) == reduced
+
+    @given(nonzero)
+    def test_reduction_is_minimal_locally(self, x):
+        reduced, _ = unit_reduce(x)
+        lam = ZSqrt2.fundamental_unit()
+        inv = ZSqrt2(-1, 1)
+        measure = abs(reduced.u) + abs(reduced.v)
+        assert abs((reduced * lam).u) + abs((reduced * lam).v) >= measure
+        assert abs((reduced * inv).u) + abs((reduced * inv).v) >= measure
+
+    @given(nonzero, st.integers(min_value=-5, max_value=5))
+    def test_reduction_canonical_on_associates(self, x, shift):
+        """Associates by unit powers reduce to the same representative."""
+        lam = ZSqrt2.fundamental_unit()
+        inv = ZSqrt2(-1, 1)
+        associate = x
+        for _ in range(abs(shift)):
+            associate = associate * (lam if shift > 0 else inv)
+        assert unit_reduce(associate)[0] == unit_reduce(x)[0]
+
+    def test_zero(self):
+        assert unit_reduce(ZSqrt2.zero()) == (ZSqrt2.zero(), 0)

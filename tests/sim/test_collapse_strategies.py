@@ -1,0 +1,130 @@
+"""Tests for measurement collapse and the matrix-matrix strategy [25]."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit, uniform_superposition
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import SimulationError
+from repro.sim.measure import measure_and_collapse
+from repro.sim.simulator import Simulator
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestMeasureAndCollapse:
+    def test_basis_state_deterministic(self):
+        manager = algebraic_manager(3)
+        state = manager.basis_state(0b101)
+        outcome, probability, collapsed = measure_and_collapse(manager, state, 0, seed=1)
+        assert outcome == 1 and probability == pytest.approx(1.0)
+        assert manager.edges_equal(collapsed, state)
+
+    def test_ghz_collapse_correlates(self):
+        """Measuring one GHZ qubit collapses all of them."""
+        manager = algebraic_manager(3)
+        state = Simulator(manager).run(ghz_circuit(3)).state
+        outcome, probability, collapsed = measure_and_collapse(
+            manager, state, 0, outcome=1, renormalize=False
+        )
+        assert probability == pytest.approx(0.5)
+        dense = manager.to_statevector(collapsed)
+        # Unnormalised projection: only |111> survives with amp 1/sqrt2.
+        expected = np.zeros(8, dtype=complex)
+        expected[7] = 1 / math.sqrt(2)
+        np.testing.assert_allclose(dense, expected, atol=1e-12)
+
+    def test_numeric_renormalises_by_default(self):
+        manager = numeric_manager(3)
+        state = Simulator(manager).run(ghz_circuit(3)).state
+        outcome, probability, collapsed = measure_and_collapse(
+            manager, state, 0, outcome=0
+        )
+        dense = manager.to_statevector(collapsed)
+        assert np.linalg.norm(dense) == pytest.approx(1.0)
+        assert abs(dense[0]) == pytest.approx(1.0)
+
+    def test_algebraic_refuses_renormalisation(self):
+        manager = algebraic_manager(2)
+        state = Simulator(manager).run(Circuit(2).h(0).t(0).h(0)).state
+        with pytest.raises(SimulationError):
+            measure_and_collapse(manager, state, 0, outcome=0, renormalize=True)
+
+    def test_impossible_postselection(self):
+        manager = algebraic_manager(2)
+        state = manager.basis_state(0)
+        with pytest.raises(SimulationError):
+            measure_and_collapse(manager, state, 0, outcome=1)
+
+    def test_collapse_matches_projector_math(self):
+        """P(ψ -> outcome) and the projected vector agree with dense
+        linear algebra on a generic superposition."""
+        manager = algebraic_manager(2)
+        circuit = Circuit(2).h(0).t(0).h(0).h(1).s(1)
+        state = Simulator(manager).run(circuit).state
+        dense = manager.to_statevector(state)
+        outcome, probability, collapsed = measure_and_collapse(
+            manager, state, 1, outcome=1, renormalize=False
+        )
+        projector = np.diag([0, 1, 0, 1]).astype(complex)  # qubit 1 == 1
+        projected = projector @ dense
+        assert probability == pytest.approx(float(np.linalg.norm(projected) ** 2))
+        np.testing.assert_allclose(
+            manager.to_statevector(collapsed), projected, atol=1e-9
+        )
+
+    def test_sampled_outcome_reproducible(self):
+        manager = algebraic_manager(1)
+        state = Simulator(manager).run(Circuit(1).h(0)).state
+        first = measure_and_collapse(manager, state, 0, seed=42)
+        second = measure_and_collapse(manager, state, 0, seed=42)
+        assert first[0] == second[0]
+
+    def test_invalid_outcome(self):
+        manager = algebraic_manager(1)
+        with pytest.raises(SimulationError):
+            measure_and_collapse(manager, manager.zero_state(), 0, outcome=2)
+
+
+class TestMatrixMatrixStrategy:
+    @pytest.mark.parametrize("block_size", [None, 1, 3, 7])
+    def test_agrees_with_vector_strategy(self, block_size):
+        circuit = Circuit(3).h(0).cx(0, 1).t(1).ccx(0, 1, 2).h(2).s(0)
+        manager = algebraic_manager(3)
+        simulator = Simulator(manager)
+        vector_result = simulator.run(circuit)
+        mm_result = simulator.run_matrix_matrix(circuit, block_size=block_size)
+        assert manager.edges_equal(vector_result.state, mm_result.state)
+
+    def test_block_count_in_trace(self):
+        circuit = ghz_circuit(4)  # 4 gates
+        simulator = Simulator(algebraic_manager(4))
+        result = simulator.run_matrix_matrix(circuit, block_size=2)
+        assert len(result.trace.steps) == 2
+        assert result.trace.steps[0].gate_name == "block[2]"
+
+    def test_whole_circuit_single_block(self):
+        circuit = uniform_superposition(3)
+        simulator = Simulator(algebraic_manager(3))
+        result = simulator.run_matrix_matrix(circuit)
+        assert len(result.trace.steps) == 1
+
+    def test_matches_dense(self):
+        circuit = Circuit(3).h(0).t(0).cx(0, 1).h(2).cz(1, 2)
+        simulator = Simulator(numeric_manager(3, eps=1e-12))
+        result = simulator.run_matrix_matrix(circuit, block_size=2)
+        np.testing.assert_allclose(
+            result.final_amplitudes(), StatevectorSimulator(3).run(circuit), atol=1e-9
+        )
+
+    def test_invalid_block_size(self):
+        simulator = Simulator(algebraic_manager(2))
+        with pytest.raises(SimulationError):
+            simulator.run_matrix_matrix(Circuit(2).h(0), block_size=0)
+
+    def test_width_mismatch(self):
+        simulator = Simulator(algebraic_manager(2))
+        with pytest.raises(SimulationError):
+            simulator.run_matrix_matrix(Circuit(3).h(0))

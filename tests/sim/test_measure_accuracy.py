@@ -1,0 +1,121 @@
+"""Tests for measurement sampling and the paper's accuracy metric."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit, uniform_superposition
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import SimulationError
+from repro.sim.accuracy import state_error, trace_errors
+from repro.sim.measure import measure_probabilities, sample_counts
+from repro.sim.simulator import Simulator
+
+
+class TestMeasureProbabilities:
+    def test_basis_state(self):
+        manager = algebraic_manager(3)
+        state = manager.basis_state(0b101)
+        assert measure_probabilities(manager, state, 0) == pytest.approx(1.0)
+        assert measure_probabilities(manager, state, 1) == pytest.approx(0.0)
+        assert measure_probabilities(manager, state, 2) == pytest.approx(1.0)
+
+    def test_plus_state(self):
+        result = Simulator(algebraic_manager(2)).run(Circuit(2).h(0))
+        p = measure_probabilities(result.manager, result.state, 0)
+        assert p == pytest.approx(0.5)
+
+    def test_ghz_correlations(self):
+        result = Simulator(algebraic_manager(3)).run(ghz_circuit(3))
+        for qubit in range(3):
+            assert measure_probabilities(result.manager, result.state, qubit) == pytest.approx(0.5)
+
+    def test_zero_state_rejected(self):
+        manager = numeric_manager(2)
+        with pytest.raises(SimulationError):
+            measure_probabilities(manager, manager.zero_edge(), 0)
+
+
+class TestSampling:
+    def test_basis_state_deterministic(self):
+        manager = algebraic_manager(3)
+        counts = sample_counts(manager, manager.basis_state(5), shots=50, seed=1)
+        assert counts == {5: 50}
+
+    def test_ghz_only_extremes(self):
+        result = Simulator(algebraic_manager(4)).run(ghz_circuit(4))
+        counts = sample_counts(result.manager, result.state, shots=200, seed=7)
+        assert set(counts) <= {0, 0b1111}
+        assert sum(counts.values()) == 200
+        # Both outcomes should appear with ~50% each.
+        assert 60 <= counts.get(0, 0) <= 140
+
+    def test_uniform_sampling_covers_space(self):
+        result = Simulator(algebraic_manager(3)).run(uniform_superposition(3))
+        counts = sample_counts(result.manager, result.state, shots=800, seed=3)
+        assert len(counts) == 8  # all outcomes observed
+
+    def test_shots_validation(self):
+        manager = algebraic_manager(1)
+        with pytest.raises(SimulationError):
+            sample_counts(manager, manager.zero_state(), shots=-1)
+        assert sample_counts(manager, manager.zero_state(), shots=0) == {}
+
+    def test_sampling_matches_amplitudes(self):
+        circuit = Circuit(2).h(0).t(0).h(0).h(1)
+        result = Simulator(algebraic_manager(2)).run(circuit)
+        probabilities = np.abs(result.final_amplitudes()) ** 2
+        counts = sample_counts(result.manager, result.state, shots=4000, seed=11)
+        for index in range(4):
+            frequency = counts.get(index, 0) / 4000
+            assert abs(frequency - probabilities[index]) < 0.05
+
+
+class TestAccuracyMetric:
+    def test_identical_vectors(self):
+        v = np.array([1, 0, 0, 0], dtype=complex)
+        assert state_error(v, v) == pytest.approx(0.0, abs=1e-12)
+
+    def test_length_error_is_forgiven(self):
+        """Footnote 8: the numeric vector is rescaled to norm 1."""
+        v_alg = np.array([1, 0], dtype=complex)
+        v_num = np.array([0.5, 0], dtype=complex)
+        assert state_error(v_num, v_alg) == pytest.approx(0.0, abs=1e-12)
+
+    def test_global_phase_is_forgiven(self):
+        v_alg = np.array([1, 0], dtype=complex) / math.sqrt(2) * np.array([1, 1])
+        v_alg = np.array([1, 1], dtype=complex) / math.sqrt(2)
+        v_num = v_alg * np.exp(0.3j)
+        assert state_error(v_num, v_alg) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_vector_worst_case(self):
+        """Example 5's collapsed vector: error = ||v_alg|| = 1."""
+        v_alg = np.array([1, 0, 0, 0], dtype=complex)
+        v_num = np.zeros(4, dtype=complex)
+        assert state_error(v_num, v_alg) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_error_sqrt2(self):
+        v_alg = np.array([1, 0], dtype=complex)
+        v_num = np.array([0, 1], dtype=complex)
+        assert state_error(v_num, v_alg) == pytest.approx(math.sqrt(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            state_error(np.zeros(2), np.zeros(4))
+
+    def test_trace_errors_pipeline(self):
+        n = 2
+        circuit = ghz_circuit(n)
+        numeric = numeric_manager(n, eps=0.0)
+        num_states = []
+        Simulator(numeric).run(circuit, step_callback=lambda i, s: num_states.append(s))
+        exact = algebraic_manager(n)
+        exact_states = []
+        Simulator(exact).run(
+            circuit, step_callback=lambda i, s: exact_states.append(exact.to_statevector(s))
+        )
+        errors = trace_errors(numeric, num_states, exact_states)
+        assert len(errors) == len(circuit)
+        assert all(error < 1e-10 for error in errors)

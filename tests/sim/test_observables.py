@@ -1,0 +1,106 @@
+"""Tests for Pauli-string observables on DD states."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit, uniform_superposition
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import SimulationError
+from repro.rings.qomega import QOmega
+from repro.sim.observables import PauliString, expectation, variance
+from repro.sim.simulator import Simulator
+
+
+class TestPauliString:
+    def test_from_label(self):
+        pauli = PauliString.from_label("ZIXI")
+        assert pauli.num_qubits == 4
+        assert pauli.factors == {0: "Z", 2: "X"}
+        assert pauli.weight == 2
+        assert pauli.label() == "ZIXI"
+
+    def test_identity_factors_dropped(self):
+        pauli = PauliString(3, {0: "I", 1: "Y"})
+        assert pauli.factors == {1: "Y"}
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PauliString(2, {5: "X"})
+        with pytest.raises(SimulationError):
+            PauliString(2, {0: "Q"})
+        with pytest.raises(SimulationError):
+            PauliString(0, {})
+
+    def test_matrix_dd_matches_dense(self):
+        manager = algebraic_manager(2)
+        pauli = PauliString.from_label("ZX")
+        dense = manager.to_matrix(pauli.matrix_dd(manager))
+        expected = np.kron(np.diag([1, -1]), np.array([[0, 1], [1, 0]])).astype(complex)
+        np.testing.assert_allclose(dense, expected, atol=1e-12)
+
+    def test_y_matrix(self):
+        manager = algebraic_manager(1)
+        dense = manager.to_matrix(PauliString.from_label("Y").matrix_dd(manager))
+        np.testing.assert_allclose(dense, np.array([[0, -1j], [1j, 0]]), atol=1e-12)
+
+
+class TestExpectation:
+    def test_z_on_basis_states(self):
+        manager = algebraic_manager(2)
+        z0 = PauliString.from_label("ZI")
+        assert expectation(manager, manager.basis_state(0), z0) == QOmega.one()
+        assert expectation(manager, manager.basis_state(2), z0) == QOmega.from_int(-1)
+
+    def test_x_on_plus_state(self):
+        manager = algebraic_manager(1)
+        state = Simulator(manager).run(Circuit(1).h(0)).state
+        assert expectation(manager, state, PauliString.from_label("X")) == QOmega.one()
+        assert expectation(manager, state, PauliString.from_label("Z")).is_zero()
+
+    def test_ghz_stabilizers(self):
+        """GHZ is stabilised by XXX and ZZI (exact +1 eigenvalues)."""
+        manager = algebraic_manager(3)
+        state = Simulator(manager).run(ghz_circuit(3)).state
+        assert expectation(manager, state, PauliString.from_label("XXX")) == QOmega.one()
+        assert expectation(manager, state, PauliString.from_label("ZZI")) == QOmega.one()
+        assert expectation(manager, state, PauliString.from_label("ZII")).is_zero()
+
+    def test_matches_dense(self):
+        manager = numeric_manager(3, eps=1e-12)
+        circuit = Circuit(3).h(0).t(0).cx(0, 1).s(2).h(2)
+        state = Simulator(manager).run(circuit).state
+        pauli = PauliString.from_label("XZY")
+        dense_state = manager.to_statevector(state)
+        dense_matrix = manager.to_matrix(pauli.matrix_dd(manager))
+        expected = np.vdot(dense_state, dense_matrix @ dense_state)
+        value = manager.system.to_complex(expectation(manager, state, pauli))
+        assert abs(value - expected) < 1e-9
+
+    def test_expectation_is_real(self):
+        manager = algebraic_manager(2)
+        state = Simulator(manager).run(Circuit(2).h(0).t(0).cx(0, 1)).state
+        value = expectation(manager, state, PauliString.from_label("YX"))
+        assert abs(value.to_complex().imag) < 1e-12
+
+    def test_width_mismatch(self):
+        manager = algebraic_manager(2)
+        with pytest.raises(SimulationError):
+            PauliString.from_label("ZZZ").matrix_dd(manager)
+
+
+class TestVariance:
+    def test_eigenstate_has_zero_variance(self):
+        manager = algebraic_manager(1)
+        state = Simulator(manager).run(Circuit(1).h(0)).state
+        assert variance(manager, state, PauliString.from_label("X")) == pytest.approx(0.0)
+
+    def test_unbiased_state_has_unit_variance(self):
+        manager = algebraic_manager(1)
+        state = manager.basis_state(0)
+        assert variance(manager, state, PauliString.from_label("X")) == pytest.approx(1.0)
+
+    def test_uniform_superposition_zz(self):
+        manager = algebraic_manager(2)
+        state = Simulator(manager).run(uniform_superposition(2)).state
+        assert variance(manager, state, PauliString.from_label("ZZ")) == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for exact single-qubit Clifford+T synthesis."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RingError
+from repro.rings.domega import DOmega
+from repro.rings.matrix2 import Matrix2
+from repro.synth.exact import SynthesisResult, synthesize_exact, word_to_matrix
+
+words = st.lists(st.sampled_from(["h", "t"]), min_size=0, max_size=50).map(tuple)
+
+
+class TestWordToMatrix:
+    def test_empty_word(self):
+        assert word_to_matrix(()) == Matrix2.identity()
+
+    def test_single_gates(self):
+        assert word_to_matrix(("h",)) == Matrix2.hadamard()
+        assert word_to_matrix(("t",)) == Matrix2.t_gate()
+
+    def test_circuit_order(self):
+        # (h, t): h applied first -> matrix = T @ H.
+        assert word_to_matrix(("h", "t")) == Matrix2.t_gate() @ Matrix2.hadamard()
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            word_to_matrix(("x",))
+
+
+class TestRoundtrip:
+    @given(words)
+    @settings(max_examples=40, deadline=None)
+    def test_word_roundtrip(self, word):
+        """synthesize(matrix(word)) reproduces the matrix exactly."""
+        target = word_to_matrix(word)
+        result = synthesize_exact(target)
+        assert result.to_matrix() == target
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_long_words(self, seed):
+        rng = random.Random(seed)
+        word = tuple(rng.choice("ht") for _ in range(150))
+        target = word_to_matrix(word)
+        result = synthesize_exact(target)
+        assert result.to_matrix() == target
+
+    def test_named_gates(self):
+        for matrix in (
+            Matrix2.identity(),
+            Matrix2.hadamard(),
+            Matrix2.t_gate(),
+            Matrix2.s_gate(),
+            Matrix2.x_gate(),
+            Matrix2.s_gate().dagger(),
+        ):
+            result = synthesize_exact(matrix)
+            assert result.to_matrix() == matrix
+
+    @pytest.mark.parametrize("exponent", range(8))
+    def test_global_phases(self, exponent):
+        matrix = Matrix2.omega_phase(exponent)
+        result = synthesize_exact(matrix)
+        assert result.to_matrix() == matrix
+
+    def test_numeric_agreement(self):
+        word = ("h", "t", "t", "h", "t", "h", "t", "t", "t", "h")
+        target = word_to_matrix(word)
+        result = synthesize_exact(target)
+        resynthesised = np.array(result.to_matrix().to_complex_tuple()).reshape(2, 2)
+        original = np.array(target.to_complex_tuple()).reshape(2, 2)
+        np.testing.assert_allclose(resynthesised, original, atol=1e-12)
+
+
+class TestProperties:
+    def test_t_count(self):
+        result = synthesize_exact(Matrix2.s_gate())
+        assert result.t_count == 2  # S = T T
+
+    def test_identity_is_empty(self):
+        result = synthesize_exact(Matrix2.identity())
+        assert result.gates == ()
+        assert result.phase_exponent == 0
+
+    def test_non_unitary_rejected(self):
+        matrix = Matrix2(DOmega.from_int(2), DOmega.zero(), DOmega.zero(), DOmega.one())
+        with pytest.raises(RingError):
+            synthesize_exact(matrix)
+
+    def test_repr(self):
+        assert "identity" in repr(synthesize_exact(Matrix2.identity()))
+
+    @given(words)
+    @settings(max_examples=20, deadline=None)
+    def test_synthesis_length_reasonable(self, word):
+        """The output is not absurdly longer than needed: bounded by a
+        constant factor over the sde (each reduction round peels at
+        most the lookahead depth) plus the base word."""
+        target = word_to_matrix(word)
+        result = synthesize_exact(target)
+        assert len(result.gates) <= 10 * (target.sde() + 1) + 25

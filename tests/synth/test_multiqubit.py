@@ -1,0 +1,146 @@
+"""Tests for multi-qubit exact Clifford+T synthesis (Giles/Selinger)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit, qft_circuit
+from repro.dd.manager import algebraic_manager
+from repro.errors import RingError
+from repro.rings.domega import DOmega
+from repro.sim.simulator import Simulator
+from repro.synth.multiqubit import (
+    exact_unitary_of_circuit,
+    is_exact_unitary,
+    synthesize_from_dd,
+    synthesize_unitary,
+)
+
+
+def random_clifford_t(num_qubits, gates, seed):
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(gates):
+        kind = rng.randrange(6)
+        qubit = rng.randrange(num_qubits)
+        if kind == 0:
+            circuit.h(qubit)
+        elif kind == 1:
+            circuit.t(qubit)
+        elif kind == 2:
+            circuit.s(qubit)
+        elif kind == 3:
+            circuit.x(qubit)
+        elif kind == 4 and num_qubits > 1:
+            circuit.cx(qubit, (qubit + 1) % num_qubits)
+        else:
+            circuit.z(qubit)
+    return circuit
+
+
+class TestExactUnitaryOfCircuit:
+    def test_identity(self):
+        grid = exact_unitary_of_circuit(Circuit(2))
+        assert grid[0][0] == DOmega.one()
+        assert grid[0][1].is_zero()
+        assert is_exact_unitary(grid)
+
+    def test_matches_dd_matrix(self):
+        circuit = Circuit(2).h(0).cx(0, 1).t(1)
+        grid = exact_unitary_of_circuit(circuit)
+        manager = algebraic_manager(2)
+        dense = manager.to_matrix(Simulator(manager).unitary(circuit))
+        for row in range(4):
+            for col in range(4):
+                assert abs(grid[row][col].to_complex() - dense[row][col]) < 1e-12
+
+    def test_unitarity_check_detects_bad_grid(self):
+        grid = exact_unitary_of_circuit(Circuit(1))
+        grid[0][0] = DOmega.from_int(2)
+        assert not is_exact_unitary(grid)
+
+
+class TestSynthesizeUnitary:
+    @pytest.mark.parametrize("num_qubits,gates,seed", [
+        (1, 20, 0), (2, 30, 1), (2, 60, 2), (3, 40, 3), (3, 40, 4),
+    ])
+    def test_roundtrip_exact(self, num_qubits, gates, seed):
+        """The synthesised circuit's unitary equals the input in the ring."""
+        original = random_clifford_t(num_qubits, gates, seed)
+        target = exact_unitary_of_circuit(original)
+        synthesised = synthesize_unitary(target, num_qubits)
+        assert exact_unitary_of_circuit(synthesised) == target
+
+    def test_named_circuits(self):
+        for circuit in (ghz_circuit(3), qft_circuit(3), Circuit(2).swap(0, 1)):
+            target = exact_unitary_of_circuit(circuit)
+            synthesised = synthesize_unitary(target, circuit.num_qubits)
+            assert exact_unitary_of_circuit(synthesised) == target
+
+    def test_identity_synthesises_to_empty(self):
+        synthesised = synthesize_unitary(
+            exact_unitary_of_circuit(Circuit(2)), 2
+        )
+        assert len(synthesised) == 0
+
+    def test_non_unitary_rejected(self):
+        grid = exact_unitary_of_circuit(Circuit(1))
+        grid[0][0] = DOmega.from_int(3)
+        with pytest.raises(RingError):
+            synthesize_unitary(grid, 1)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(RingError):
+            synthesize_unitary([[DOmega.one()]], 2)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_roundtrips(self, seed):
+        circuit = random_clifford_t(2, 40, seed)
+        target = exact_unitary_of_circuit(circuit)
+        synthesised = synthesize_unitary(target, 2)
+        assert exact_unitary_of_circuit(synthesised) == target
+
+    def test_four_qubits(self):
+        circuit = random_clifford_t(4, 30, 9)
+        target = exact_unitary_of_circuit(circuit)
+        synthesised = synthesize_unitary(target, 4)
+        assert exact_unitary_of_circuit(synthesised) == target
+
+
+class TestSynthesizeFromDd:
+    def test_dd_to_circuit_roundtrip(self):
+        """circuit -> DD -> synthesis -> DD: exact structural equality."""
+        circuit = Circuit(2).h(0).t(0).cx(0, 1).s(1).h(1)
+        manager = algebraic_manager(2)
+        simulator = Simulator(manager)
+        unitary = simulator.unitary(circuit)
+        resynthesised = synthesize_from_dd(manager, unitary)
+        unitary_again = simulator.unitary(resynthesised)
+        assert manager.edges_equal(unitary, unitary_again)
+
+    def test_grover_oracle_resynthesis(self):
+        from repro.algorithms.grover import grover_oracle
+
+        circuit = grover_oracle(3, 5)
+        manager = algebraic_manager(3)
+        simulator = Simulator(manager)
+        unitary = simulator.unitary(circuit)
+        resynthesised = synthesize_from_dd(manager, unitary)
+        assert manager.edges_equal(unitary, simulator.unitary(resynthesised))
+
+    def test_numeric_dense_agreement(self):
+        circuit = random_clifford_t(3, 25, 11)
+        manager = algebraic_manager(3)
+        simulator = Simulator(manager)
+        unitary = simulator.unitary(circuit)
+        resynthesised = synthesize_from_dd(manager, unitary)
+        np.testing.assert_allclose(
+            manager.to_matrix(simulator.unitary(resynthesised)),
+            manager.to_matrix(unitary),
+            atol=1e-9,
+        )

@@ -1,0 +1,114 @@
+"""Tests for exact state preparation."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_circuit, uniform_superposition
+from repro.dd.manager import algebraic_manager
+from repro.errors import RingError
+from repro.rings.domega import DOmega
+from repro.sim.simulator import Simulator
+from repro.synth.multiqubit import exact_unitary_of_circuit
+from repro.synth.stateprep import (
+    is_exact_unit_vector,
+    prepare_state,
+    prepare_state_from_dd,
+)
+
+
+def exact_state_of_circuit(circuit):
+    """Exact amplitude list via the exact dense unitary's first column."""
+    grid = exact_unitary_of_circuit(circuit)
+    return [row[0] for row in grid]
+
+
+def random_clifford_t(num_qubits, gates, seed):
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(gates):
+        kind = rng.randrange(5)
+        qubit = rng.randrange(num_qubits)
+        if kind == 0:
+            circuit.h(qubit)
+        elif kind == 1:
+            circuit.t(qubit)
+        elif kind == 2:
+            circuit.s(qubit)
+        elif kind == 3 and num_qubits > 1:
+            circuit.cx(qubit, (qubit + 1) % num_qubits)
+        else:
+            circuit.x(qubit)
+    return circuit
+
+
+class TestIsExactUnitVector:
+    def test_basis_vector(self):
+        assert is_exact_unit_vector([DOmega.one(), DOmega.zero()])
+
+    def test_plus_state(self):
+        half = DOmega.one_over_sqrt2()
+        assert is_exact_unit_vector([half, half])
+
+    def test_non_unit(self):
+        assert not is_exact_unit_vector([DOmega.one(), DOmega.one()])
+
+
+class TestPrepareState:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_states_roundtrip_exactly(self, seed):
+        num_qubits = 3
+        circuit = random_clifford_t(num_qubits, 25, seed)
+        target = exact_state_of_circuit(circuit)
+        preparation = prepare_state(target, num_qubits)
+        assert exact_state_of_circuit(preparation) == target
+
+    def test_ghz(self):
+        target = exact_state_of_circuit(ghz_circuit(3))
+        preparation = prepare_state(target, 3)
+        assert exact_state_of_circuit(preparation) == target
+
+    def test_uniform(self):
+        target = exact_state_of_circuit(uniform_superposition(2))
+        preparation = prepare_state(target, 2)
+        assert exact_state_of_circuit(preparation) == target
+
+    def test_basis_state_preparation(self):
+        amplitudes = [DOmega.zero()] * 8
+        amplitudes[5] = DOmega.one()
+        preparation = prepare_state(amplitudes, 3)
+        assert exact_state_of_circuit(preparation) == amplitudes
+
+    def test_already_zero_state(self):
+        amplitudes = [DOmega.one()] + [DOmega.zero()] * 7
+        preparation = prepare_state(amplitudes, 3)
+        assert len(preparation) == 0
+
+    def test_non_unit_rejected(self):
+        with pytest.raises(RingError):
+            prepare_state([DOmega.one(), DOmega.one()], 1)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(RingError):
+            prepare_state([DOmega.one()], 2)
+
+
+class TestPrepareFromDd:
+    def test_dd_roundtrip(self):
+        manager = algebraic_manager(3)
+        simulator = Simulator(manager)
+        original = simulator.run(Circuit(3).h(0).t(0).cx(0, 1).ccx(0, 1, 2)).state
+        preparation = prepare_state_from_dd(manager, original)
+        rebuilt = simulator.run(preparation).state
+        assert manager.edges_equal(rebuilt, original)
+
+    def test_four_qubit_dd_roundtrip(self):
+        manager = algebraic_manager(4)
+        simulator = Simulator(manager)
+        circuit = random_clifford_t(4, 30, seed=3)
+        original = simulator.run(circuit).state
+        preparation = prepare_state_from_dd(manager, original)
+        rebuilt = simulator.run(preparation).state
+        assert manager.edges_equal(rebuilt, original)

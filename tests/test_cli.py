@@ -1,0 +1,70 @@
+"""Tests for the repro-qmdd command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_grover_algebraic(self, capsys):
+        assert main(["simulate", "--algorithm", "grover", "--qubits", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "grover_4q" in output
+        assert "algebraic" in output
+        assert "zero collapse: no" in output
+
+    def test_grover_numeric(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "grover", "--qubits", "3",
+             "--system", "numeric", "--eps", "1e-10"]
+        )
+        assert code == 0
+        assert "numeric(eps=1e-10)" in capsys.readouterr().out
+
+    def test_bwt(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bwt", "--depth", "1", "--steps", "2"]
+        )
+        assert code == 0
+        assert "bwt_d1_s2" in capsys.readouterr().out
+
+    def test_gcd_system(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "grover", "--qubits", "3",
+             "--system", "algebraic-gcd"]
+        )
+        assert code == 0
+
+
+class TestTradeoff:
+    def test_small_grover_sweep(self, capsys):
+        # n = 6 gives ~200 gates -- enough for the eps = 1e-3 corruption
+        # to accumulate so that every shape check passes.
+        code = main(["tradeoff", "--algorithm", "grover", "--qubits", "6"])
+        output = capsys.readouterr().out
+        assert code == 0  # all shape checks pass
+        assert "summary" in output
+        assert "shape checks" in output
+        assert "PASS" in output
+
+
+class TestAblation:
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--qubits", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "algebraic-q (Alg.2)" in output
+        assert "algebraic-gcd (Alg.3)" in output
+
+    def test_ablation_skip_gcd(self, capsys):
+        assert main(["ablation", "--qubits", "4", "--skip-gcd"]) == 0
+        assert "Alg.3" not in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig9"])

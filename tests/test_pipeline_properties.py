@@ -1,0 +1,131 @@
+"""Whole-pipeline property tests on random Clifford+T circuits.
+
+Hypothesis generates random exactly-representable circuits; the
+properties below must hold for *every* one of them -- they encode the
+paper's structural guarantees end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.dd.serialize import dumps, loads
+from repro.sim.simulator import Simulator
+from repro.sim.statevector import StatevectorSimulator
+
+NUM_QUBITS = 3
+
+
+@st.composite
+def clifford_t_circuits(draw):
+    """Random circuits over {H, T, S, X, Z, CX, CCX} on 3 qubits."""
+    length = draw(st.integers(min_value=0, max_value=20))
+    circuit = Circuit(NUM_QUBITS, name="random")
+    for _ in range(length):
+        kind = draw(st.integers(min_value=0, max_value=6))
+        qubit = draw(st.integers(min_value=0, max_value=NUM_QUBITS - 1))
+        if kind == 0:
+            circuit.h(qubit)
+        elif kind == 1:
+            circuit.t(qubit)
+        elif kind == 2:
+            circuit.s(qubit)
+        elif kind == 3:
+            circuit.x(qubit)
+        elif kind == 4:
+            circuit.z(qubit)
+        elif kind == 5:
+            other = (qubit + 1 + draw(st.integers(min_value=0, max_value=NUM_QUBITS - 2))) % NUM_QUBITS
+            circuit.cx(qubit, other)
+        else:
+            others = [q for q in range(NUM_QUBITS) if q != qubit]
+            circuit.ccx(others[0], others[1], qubit)
+    return circuit
+
+
+class TestAlgebraicInvariants:
+    @given(clifford_t_circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_norm_exactly_preserved(self, circuit):
+        """Unitary evolution keeps <psi|psi> == 1 *in the ring*."""
+        manager = algebraic_manager(NUM_QUBITS)
+        result = Simulator(manager).run(circuit)
+        assert manager.system.is_one(manager.norm_squared(result.state))
+
+    @given(clifford_t_circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense_reference(self, circuit):
+        manager = algebraic_manager(NUM_QUBITS)
+        result = Simulator(manager).run(circuit)
+        expected = StatevectorSimulator(NUM_QUBITS).run(circuit)
+        np.testing.assert_allclose(result.final_amplitudes(), expected, atol=1e-9)
+
+    @given(clifford_t_circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_canonical_node(self, circuit):
+        """Re-simulating yields the identical hash-consed node."""
+        manager = algebraic_manager(NUM_QUBITS)
+        first = Simulator(manager).run(circuit).state
+        second = Simulator(manager).run(circuit).state
+        assert first.node is second.node
+        assert manager.edges_equal(first, second)
+
+    @given(clifford_t_circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_gcd_scheme_agrees_with_qomega_scheme(self, circuit):
+        """Algorithms 2 and 3 detect the same redundancies: equal node
+        counts and (numerically) equal amplitudes."""
+        q_result = Simulator(algebraic_manager(NUM_QUBITS)).run(circuit)
+        gcd_result = Simulator(algebraic_gcd_manager(NUM_QUBITS)).run(circuit)
+        assert q_result.node_count == gcd_result.node_count
+        np.testing.assert_allclose(
+            q_result.final_amplitudes(), gcd_result.final_amplitudes(), atol=1e-9
+        )
+
+    @given(clifford_t_circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_serialization_roundtrip(self, circuit):
+        manager = algebraic_manager(NUM_QUBITS)
+        state = Simulator(manager).run(circuit).state
+        restored = loads(manager, dumps(manager, state))
+        assert manager.edges_equal(restored, state)
+
+    @given(clifford_t_circuits())
+    @settings(max_examples=15, deadline=None)
+    def test_unitary_times_adjoint_is_identity(self, circuit):
+        manager = algebraic_manager(NUM_QUBITS)
+        unitary = Simulator(manager).unitary(circuit)
+        product = manager.mat_mat(unitary, manager.adjoint(unitary))
+        assert manager.edges_equal(product, manager.identity())
+
+    @given(clifford_t_circuits(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_matrix_matrix_strategy_agrees(self, circuit, block_size):
+        manager = algebraic_manager(NUM_QUBITS)
+        simulator = Simulator(manager)
+        vector_state = simulator.run(circuit).state
+        mm_state = simulator.run_matrix_matrix(circuit, block_size=block_size).state
+        assert manager.edges_equal(vector_state, mm_state)
+
+
+class TestNumericAgreement:
+    @given(clifford_t_circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_tolerant_numeric_close_to_exact(self, circuit):
+        exact = Simulator(algebraic_manager(NUM_QUBITS)).run(circuit)
+        numeric = Simulator(numeric_manager(NUM_QUBITS, eps=1e-10)).run(circuit)
+        np.testing.assert_allclose(
+            numeric.final_amplitudes(), exact.final_amplitudes(), atol=1e-6
+        )
+
+    @given(clifford_t_circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_tolerant_numeric_size_never_below_exact(self, circuit):
+        """The algebraic DD detects *all* redundancies: no numeric DD
+        can be smaller without losing information."""
+        exact = Simulator(algebraic_manager(NUM_QUBITS)).run(circuit)
+        numeric = Simulator(numeric_manager(NUM_QUBITS, eps=1e-12)).run(circuit)
+        assert numeric.node_count >= exact.node_count

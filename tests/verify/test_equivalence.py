@@ -1,0 +1,101 @@
+"""Tests for DD-based equivalence checking."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import CircuitError
+from repro.verify.equivalence import check_equivalence, check_state_equivalence
+
+
+def swap_via_cx(n, a, b):
+    return Circuit(n).cx(a, b).cx(b, a).cx(a, b)
+
+
+class TestUnitaryEquivalence:
+    def test_identities(self):
+        """Classic rewrite identities verified exactly."""
+        # HH = I
+        assert check_equivalence(Circuit(2).h(0).h(0), Circuit(2))
+        # T T = S
+        assert check_equivalence(Circuit(1).t(0).t(0), Circuit(1).s(0))
+        # S S = Z
+        assert check_equivalence(Circuit(1).s(0).s(0), Circuit(1).z(0))
+        # HXH = Z
+        assert check_equivalence(Circuit(1).h(0).x(0).h(0), Circuit(1).z(0))
+
+    def test_cx_conjugation(self):
+        """CX(0,1) = H(1) CZ(0,1) H(1)."""
+        left = Circuit(2).cx(0, 1)
+        right = Circuit(2).h(1).cz(0, 1).h(1)
+        assert check_equivalence(left, right)
+
+    def test_inequivalent(self):
+        result = check_equivalence(Circuit(1).t(0), Circuit(1).s(0))
+        assert not result
+
+    def test_swap_decomposition(self):
+        direct = Circuit(3).swap(0, 2)
+        manual = swap_via_cx(3, 0, 2)
+        assert check_equivalence(direct, manual)
+
+    def test_global_phase_detection(self):
+        """X Z X Z = -I: equal to identity only up to global phase."""
+        phased = Circuit(1).x(0).z(0).x(0).z(0)
+        identity = Circuit(1)
+        with_phase = check_equivalence(phased, identity, up_to_global_phase=True)
+        assert with_phase
+        assert with_phase.phase_factor == pytest.approx(-1.0)
+        strict = check_equivalence(phased, identity, up_to_global_phase=False)
+        assert not strict
+
+    def test_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            check_equivalence(Circuit(1), Circuit(2))
+
+    def test_numeric_eps0_misses_equivalence(self):
+        """The paper's verification argument: with floats at eps = 0,
+        H H != I structurally, so numeric verification reports a false
+        negative where the algebraic check is exact."""
+        left = Circuit(1).h(0).h(0)
+        right = Circuit(1)
+        exact = check_equivalence(left, right, manager=algebraic_manager(1))
+        numeric = check_equivalence(
+            left, right, manager=numeric_manager(1, eps=0.0), up_to_global_phase=False
+        )
+        assert exact
+        assert not numeric
+
+    def test_numeric_with_tolerance_recovers(self):
+        left = Circuit(1).h(0).h(0)
+        right = Circuit(1)
+        assert check_equivalence(left, right, manager=numeric_manager(1, eps=1e-10))
+
+
+class TestStateEquivalence:
+    def test_equal_preparations(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        assert check_state_equivalence(a, b)
+
+    def test_unequal_on_zero_but_state_check_passes(self):
+        """T and identity agree on |0> but differ as unitaries -- the
+        state check is intentionally weaker."""
+        t_only = Circuit(1).t(0)
+        nothing = Circuit(1)
+        assert check_state_equivalence(t_only, nothing)
+        assert not check_equivalence(t_only, nothing)
+
+    def test_different_states(self):
+        assert not check_state_equivalence(Circuit(1).x(0), Circuit(1))
+
+    def test_custom_initial_state(self):
+        manager = algebraic_manager(1)
+        start = manager.basis_state(1)
+        # On |1>, T applies a phase: differs from identity only by a
+        # global phase.
+        result = check_state_equivalence(
+            Circuit(1).t(0), Circuit(1), manager=manager, initial_state=start
+        )
+        assert result
+        assert result.phase_factor is not None

@@ -1,0 +1,107 @@
+"""Tests for fault injection and exact fault diagnosis."""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+from repro.verify.equivalence import check_equivalence
+from repro.verify.faults import (
+    Fault,
+    enumerate_single_faults,
+    inject_fault,
+    locate_fault,
+)
+
+
+@pytest.fixture
+def reference():
+    return Circuit(3).h(0).t(0).cx(0, 1).s(1).ccx(0, 1, 2).tdg(2).h(2)
+
+
+class TestInjectFault:
+    def test_drop(self, reference):
+        faulty = inject_fault(reference, Fault("drop", 1))
+        assert len(faulty) == len(reference) - 1
+
+    def test_replace_t_with_tdg(self, reference):
+        faulty = inject_fault(reference, Fault("replace", 1))
+        assert faulty[1].gate.name == "tdg"
+        assert len(faulty) == len(reference)
+
+    def test_extra(self, reference):
+        faulty = inject_fault(reference, Fault("extra", 0))
+        assert len(faulty) == len(reference) + 1
+        assert faulty[1].gate.name == "z"
+
+    def test_control_drop(self, reference):
+        faulty = inject_fault(reference, Fault("control-drop", 4))
+        assert len(faulty[4].controls) == 1
+
+    def test_control_drop_requires_controls(self, reference):
+        with pytest.raises(CircuitError):
+            inject_fault(reference, Fault("control-drop", 0))
+
+    def test_position_validation(self, reference):
+        with pytest.raises(CircuitError):
+            inject_fault(reference, Fault("drop", 99))
+
+    def test_unknown_kind(self, reference):
+        with pytest.raises(CircuitError):
+            inject_fault(reference, Fault("gamma-ray", 0))
+
+
+class TestDetection:
+    def test_every_single_fault_is_detected(self, reference):
+        """Exact verification catches all injected faults (no tolerance
+        blind spots) -- except physically inconsequential ones."""
+        for fault in enumerate_single_faults(reference):
+            faulty = inject_fault(reference, fault)
+            verdict = check_equivalence(reference, faulty)
+            assert not verdict.equivalent, f"fault {fault} went undetected"
+
+    def test_enumeration_coverage(self, reference):
+        faults = enumerate_single_faults(reference)
+        kinds = {fault.kind for fault in faults}
+        assert kinds == {"drop", "replace", "extra", "control-drop"}
+        assert sum(1 for f in faults if f.kind == "drop") == len(reference)
+
+
+class TestLocateFault:
+    @pytest.mark.parametrize("position", [0, 1, 3, 5])
+    def test_replace_fault_located(self, reference, position):
+        fault_positions = [
+            index for index, op in enumerate(reference)
+            if op.gate.name in ("t", "tdg", "s", "h", "x")
+        ]
+        if position not in fault_positions:
+            pytest.skip("no replacement defined at this position")
+        faulty = inject_fault(reference, Fault("replace", position))
+        assert locate_fault(reference, faulty) == position
+
+    def test_equivalent_circuits_give_none(self, reference):
+        assert locate_fault(reference, reference) is None
+
+    def test_length_mismatch_rejected(self, reference):
+        faulty = inject_fault(reference, Fault("drop", 0))
+        with pytest.raises(CircuitError):
+            locate_fault(reference, faulty)
+
+    def test_width_mismatch_rejected(self, reference):
+        with pytest.raises(CircuitError):
+            locate_fault(reference, Circuit(2).h(0))
+
+    def test_on_grover(self):
+        original = grover_circuit(4, 9)
+        position = len(original) // 2
+        tampered = Circuit(4, name="tampered")
+        tampered.operations = list(original.operations)
+        from repro.circuits.gates import TDG
+        from repro.circuits.circuit import Operation
+
+        victim = tampered.operations[position]
+        tampered.operations[position] = Operation(
+            TDG, victim.target, victim.controls, victim.negative_controls
+        )
+        located = locate_fault(original, tampered)
+        assert located == position
