@@ -9,10 +9,13 @@ Public surface:
   Algorithm 3);
 * :func:`~repro.dd.gatebuild.build_gate_dd` for linear-size controlled
   gate construction;
+* :func:`~repro.dd.apply.apply_gate` for direct (matrix-free) gate
+  application to a state vector DD;
 * :func:`~repro.dd.metrics.collect_metrics` for the paper's size /
   bit-width measurements and :func:`~repro.dd.dot.to_dot` for rendering.
 """
 
+from repro.dd.apply import apply_gate, prepare_gate
 from repro.dd.edge import Edge, Node, TERMINAL, iter_nodes
 from repro.dd.gatebuild import build_diagonal_dd, build_gate_dd
 from repro.dd.manager import (
@@ -43,6 +46,7 @@ __all__ = [
     "TERMINAL",
     "algebraic_gcd_manager",
     "algebraic_manager",
+    "apply_gate",
     "build_diagonal_dd",
     "build_gate_dd",
     "collect_metrics",
@@ -53,5 +57,6 @@ __all__ = [
     "load",
     "loads",
     "numeric_manager",
+    "prepare_gate",
     "to_dot",
 ]

@@ -41,7 +41,7 @@ from repro.dd.number_system import (
     NumberSystem,
     NumericSystem,
 )
-from repro.dd.unique_table import UniqueTable
+from repro.dd.unique_table import ComputeTable, UniqueTable
 from repro.errors import DDError, LevelMismatchError
 
 __all__ = [
@@ -69,10 +69,15 @@ class DDManager:
         uid_source = count(1).__next__  # shared: uids unique across arities
         self._vector_table = UniqueTable(uid_source)
         self._matrix_table = UniqueTable(uid_source)
-        self._add_cache: Dict[Tuple, Edge] = {}
-        self._mat_vec_cache: Dict[Tuple[int, int], Edge] = {}
-        self._mat_mat_cache: Dict[Tuple[int, int], Edge] = {}
-        self._kron_cache: Dict[Tuple, Edge] = {}
+        self._add_cache = ComputeTable("add")
+        self._mat_vec_cache = ComputeTable("mat_vec")
+        self._mat_mat_cache = ComputeTable("mat_mat")
+        self._kron_cache = ComputeTable("kron")
+        self._apply_cache = ComputeTable("apply")
+        self._gate_signatures: Dict[Tuple, int] = {}
+        # Edges are immutable in practice; sharing one zero edge avoids
+        # an allocation on every zero child in the hot path.
+        self._zero_edge = Edge(TERMINAL, self.system.zero)
 
     # ------------------------------------------------------------------
     # Elementary edges
@@ -80,7 +85,7 @@ class DDManager:
 
     def zero_edge(self) -> Edge:
         """The all-zero function (a stub edge in the paper's figures)."""
-        return Edge(TERMINAL, self.system.zero)
+        return self._zero_edge
 
     def one_edge(self) -> Edge:
         """The scalar 1 at the terminal."""
@@ -90,6 +95,8 @@ class DDManager:
         return Edge(TERMINAL, weight)
 
     def is_zero_edge(self, edge: Edge) -> bool:
+        if edge is self._zero_edge:
+            return True
         return edge.is_terminal and self.system.is_zero(edge.weight)
 
     def level_of_qubit(self, qubit: int) -> int:
@@ -110,28 +117,53 @@ class DDManager:
         interned in the unique table.
         """
         arity = len(children)
-        if arity not in (VECTOR_ARITY, MATRIX_ARITY):
+        if arity == VECTOR_ARITY:
+            # Unrolled hot path: vector nodes dominate simulation.
+            c0, c1 = children
+            is_zero = self.system.is_zero
+            z0 = is_zero(c0.weight)
+            z1 = is_zero(c1.weight)
+            if z0:
+                if z1:
+                    return self._zero_edge
+                c0 = self._zero_edge
+            elif z1:
+                c1 = self._zero_edge
+            eta, normalized, keys = self.system.normalize_keyed((c0.weight, c1.weight))
+            w0, w1 = normalized
+            n0 = c0 if (z0 or w0 is c0.weight) else Edge(c0.node, w0)
+            n1 = c1 if (z1 or w1 is c1.weight) else Edge(c1.node, w1)
+            node = self._vector_table.get_or_create(level, (n0, n1), keys)
+            return Edge(node, eta)
+        if arity != MATRIX_ARITY:
             raise DDError(f"unsupported node arity {arity}")
+        is_zero = self.system.is_zero
+        # Single pass: canonicalise zero edges (they always point at the
+        # terminal) and collect the weight tuple for normalisation.
+        canonical = []
         weights = []
+        any_nonzero = False
         for child in children:
-            if self.system.is_zero(child.weight) and not child.is_terminal:
-                # canonicalise: zero edges always point at the terminal
+            if is_zero(child.weight):
                 child = self.zero_edge()
+            else:
+                any_nonzero = True
+            canonical.append(child)
             weights.append(child.weight)
-        children = [
-            child if not self.system.is_zero(child.weight) else self.zero_edge()
-            for child in children
-        ]
-        if all(self.system.is_zero(weight) for weight in weights):
+        if not any_nonzero:
             return self.zero_edge()
-        eta, normalized = self.system.normalize(tuple(weights))
-        new_children = tuple(
-            Edge(child.node, weight) if not self.system.is_zero(weight) else self.zero_edge()
-            for child, weight in zip(children, normalized)
-        )
-        keys = tuple(self.system.key(weight) for child, weight in zip(children, normalized))
+        eta, normalized, keys = self.system.normalize_keyed(tuple(weights))
+        new_children = []
+        for child, weight in zip(canonical, normalized):
+            # normalisation maps zero to zero, so `child` is already the
+            # canonical zero edge exactly when `weight` is zero; reuse
+            # the child edge outright when its weight was untouched.
+            if weight is child.weight or is_zero(weight):
+                new_children.append(child)
+            else:
+                new_children.append(Edge(child.node, weight))
         table = self._vector_table if arity == VECTOR_ARITY else self._matrix_table
-        node = table.get_or_create(level, new_children, keys)
+        node = table.get_or_create(level, tuple(new_children), keys)
         return Edge(node, eta)
 
     def scale(self, edge: Edge, factor: Any) -> Edge:
@@ -230,10 +262,24 @@ class DDManager:
             )
         if left.is_terminal and right.is_terminal:
             return self.terminal_edge(self.system.add(left.weight, right.weight))
-        # Canonicalise the argument order (addition is commutative).
-        if (right.node.uid, self.system.key(right.weight)) < (
-            left.node.uid,
-            self.system.key(left.weight),
+        if left.node is right.node and not self.system.supports_arbitrary_complex:
+            # Same (canonical) node, so the same function up to the edge
+            # weights: w_l * f + w_r * f == (w_l + w_r) * f, an O(1)
+            # combine instead of a subtree walk.  Exact systems only --
+            # distributivity is not a bitwise identity for floats, and
+            # the numeric system's results are pinned to the established
+            # per-child operation order (see the instability tests).
+            total = self.system.add(left.weight, right.weight)
+            if self.system.is_zero(total):
+                return self.zero_edge()
+            return Edge(left.node, total)
+        # Canonicalise the argument order (addition is commutative);
+        # weight keys only break ties between equal nodes.
+        left_uid = left.node.uid
+        right_uid = right.node.uid
+        if right_uid < left_uid or (
+            right_uid == left_uid
+            and self.system.key(right.weight) < self.system.key(left.weight)
         ):
             left, right = right, left
         # Factor out the left weight when the system supports division,
@@ -246,7 +292,7 @@ class DDManager:
                 cached = self._add_children(
                     Edge(left.node, self.system.one), Edge(right.node, ratio)
                 )
-                self._add_cache[cache_key] = cached
+                self._add_cache.put(cache_key, cached)
             return self.scale(cached, left.weight)
         cache_key = (
             left.node.uid,
@@ -257,7 +303,7 @@ class DDManager:
         cached = self._add_cache.get(cache_key)
         if cached is None:
             cached = self._add_children(left, right)
-            self._add_cache[cache_key] = cached
+            self._add_cache.put(cache_key, cached)
         return cached
 
     def _add_children(self, left: Edge, right: Edge) -> Edge:
@@ -312,7 +358,7 @@ class DDManager:
             result = self.zero_edge()
         else:
             result = self.make_node(level, result_children)
-        self._mat_vec_cache[cache_key] = result
+        self._mat_vec_cache.put(cache_key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -357,7 +403,7 @@ class DDManager:
             result = self.zero_edge()
         else:
             result = self.make_node(left.level, children)
-        self._mat_mat_cache[cache_key] = result
+        self._mat_mat_cache.put(cache_key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -391,7 +437,7 @@ class DDManager:
                 sub = self._kron_nodes(child.node, bottom, shift)
                 children.append(self.scale(sub, child.weight))
         result = self.make_node(top.level + shift, children)
-        self._kron_cache[cache_key] = result
+        self._kron_cache.put(cache_key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -402,7 +448,6 @@ class DDManager:
         """The exact weight of basis state ``|index>``."""
         weight = state.weight
         node = state.node
-        level = self.num_qubits
         while not node.is_terminal:
             bit = (index >> (node.level - 1)) & 1
             edge = node.edges[bit]
@@ -612,15 +657,52 @@ class DDManager:
         return abs(overlap) ** 2
 
     # ------------------------------------------------------------------
+    # Gate signatures (for the direct apply kernel's compute table)
+    # ------------------------------------------------------------------
+
+    def gate_signature(
+        self,
+        entries: Sequence[Any],
+        target: int,
+        controls: Tuple[int, ...] = (),
+        negative_controls: Tuple[int, ...] = (),
+    ) -> int:
+        """A small interned id describing one gate application.
+
+        The direct apply kernel (:mod:`repro.dd.apply`) memoises results
+        per ``(gate_signature, node_uid)``; interning the full
+        description (entry keys + qubit layout) into an int keeps those
+        compute-table keys cheap to hash.
+        """
+        key = (
+            tuple(self.system.key(entry) for entry in entries),
+            target,
+            tuple(sorted(controls)),
+            tuple(sorted(negative_controls)),
+        )
+        signature = self._gate_signatures.get(key)
+        if signature is None:
+            signature = len(self._gate_signatures) + 1
+            self._gate_signatures[key] = signature
+        return signature
+
+    # ------------------------------------------------------------------
     # Housekeeping
     # ------------------------------------------------------------------
 
+    def _compute_tables(self) -> Tuple[ComputeTable, ...]:
+        return (
+            self._add_cache,
+            self._mat_vec_cache,
+            self._mat_mat_cache,
+            self._kron_cache,
+            self._apply_cache,
+        )
+
     def clear_caches(self) -> None:
         """Drop all memoised operation results (keeps interned nodes)."""
-        self._add_cache.clear()
-        self._mat_vec_cache.clear()
-        self._mat_mat_cache.clear()
-        self._kron_cache.clear()
+        for table in self._compute_tables():
+            table.clear()
 
     def prune(self, roots: Sequence[Edge]) -> Dict[str, int]:
         """Garbage-collect dead nodes, keeping everything reachable from
@@ -656,7 +738,33 @@ class DDManager:
             "mat_vec_cache": len(self._mat_vec_cache),
             "mat_mat_cache": len(self._mat_mat_cache),
             "kron_cache": len(self._kron_cache),
+            "apply_cache": len(self._apply_cache),
+            "unique_tables": {
+                "vector": self._vector_table.statistics(),
+                "matrix": self._matrix_table.statistics(),
+            },
+            "compute_tables": {
+                table.name: table.statistics() for table in self._compute_tables()
+            },
+            "weights": self.system.weight_statistics(),
         }
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Flat snapshot of every compute table and weight-op memo.
+
+        Each entry maps a table name to its counter dict (size, hits,
+        misses, inserts, evictions); the benchmarks print this to report
+        hit rates alongside wall-clock numbers.
+        """
+        snapshot: Dict[str, Dict[str, int]] = {
+            table.name: table.statistics() for table in self._compute_tables()
+        }
+        snapshot.update(
+            (name, counters)
+            for name, counters in self.system.weight_statistics().items()
+            if "hits" in counters  # skip the interning table's size-only entry
+        )
+        return snapshot
 
 
 def _abs_squared(system: NumberSystem, weight: Any) -> Any:

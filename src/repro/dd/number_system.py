@@ -33,9 +33,11 @@ Three families are provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Sequence, Tuple
+from math import gcd as _int_gcd
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DDError
+from repro.dd.unique_table import ComputeTable
+from repro.errors import DDError, InexactDivisionError
 from repro.numeric.complex_table import ComplexEntry, ComplexTable
 from repro.rings.domega import DOmega
 from repro.rings.qomega import QOmega
@@ -45,7 +47,61 @@ __all__ = [
     "NumericSystem",
     "AlgebraicQOmegaSystem",
     "AlgebraicGcdSystem",
+    "WeightTable",
 ]
+
+
+class WeightTable:
+    """Hash-cons table interning exact ring values to dense int ids.
+
+    The numerical system already interns weights through
+    :class:`~repro.numeric.complex_table.ComplexTable`; this is the
+    algebraic counterpart (arXiv:1911.12691's lookup-table idea applied
+    to exact ring elements).  Interning buys two things:
+
+    * ``NumberSystem.key`` becomes a small ``int`` instead of a tuple of
+      big integers, so unique- and compute-table keys hash cheaply;
+    * arithmetic over interned ids can be memoised (see the
+      ``weight_*`` compute tables of the algebraic systems).
+
+    Canonical instances are kept alive in ``_values``, so the
+    identity-keyed fast path (``id(value)``) can never observe a recycled
+    object id for a registered value.
+    """
+
+    __slots__ = ("_by_key", "_by_identity", "_values")
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple, int] = {}
+        self._by_identity: Dict[int, int] = {}
+        self._values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern_id(self, value: Any) -> int:
+        """The dense id of ``value``, interning it on first sight."""
+        eid = self._by_identity.get(id(value))
+        if eid is not None:
+            return eid
+        key = value.key()
+        eid = self._by_key.get(key)
+        if eid is None:
+            eid = len(self._values)
+            self._values.append(value)
+            self._by_key[key] = eid
+            self._by_identity[id(value)] = eid
+        return eid
+
+    def intern(self, value: Any) -> Any:
+        """The canonical instance equal to ``value``."""
+        return self._values[self.intern_id(value)]
+
+    def value(self, eid: int) -> Any:
+        return self._values[eid]
+
+    def statistics(self) -> Dict[str, int]:
+        return {"entries": len(self._values)}
 
 
 class NumberSystem(ABC):
@@ -124,6 +180,18 @@ class NumberSystem(ABC):
         a scalar factor normalise to identical tuples.
         """
 
+    def normalize_keyed(
+        self, weights: Tuple[Any, ...]
+    ) -> Tuple[Any, Tuple[Any, ...], Tuple[Any, ...]]:
+        """:meth:`normalize` plus the keys of the normalised weights.
+
+        The unique table needs both; systems that memoise normalisation
+        override this to return the cached keys alongside, saving one
+        ``key`` round-trip per weight on the node-construction hot path.
+        """
+        eta, normalized = self.normalize(weights)
+        return eta, normalized, tuple(self.key(weight) for weight in normalized)
+
     # -- optional metrics ----------------------------------------------------------
 
     def bit_width(self, value: Any) -> int:
@@ -138,6 +206,14 @@ class NumberSystem(ABC):
         ring return ``None`` and the cache falls back to explicit keys.
         """
         return None
+
+    def weight_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-system interning/memo counters (empty if not applicable).
+
+        Maps a table name to its counter dict; the manager merges this
+        into :meth:`~repro.dd.manager.DDManager.cache_stats`.
+        """
+        return {}
 
 
 # ---------------------------------------------------------------------------
@@ -266,13 +342,229 @@ class NumericSystem(NumberSystem):
             return None
         return self.table.lookup(numerator.value / denominator.value)
 
+    def weight_statistics(self) -> Dict[str, Dict[str, int]]:
+        return {"weight_table": {"entries": len(self.table)}}
+
+
+# ---------------------------------------------------------------------------
+# Shared interned-arithmetic base of the two algebraic systems
+# ---------------------------------------------------------------------------
+
+
+class _InternedAlgebraicSystem(NumberSystem):
+    """Common machinery of the exact systems: a :class:`WeightTable`
+    hash-consing ring elements into int ids, plus bounded memo tables
+    for ``mul``/``add``/``conj``/``normalize`` keyed on those ids.
+
+    The DD hot path produces the same few weight products over and over
+    (states mid-simulation carry a small set of distinct weights), so
+    memoising the exact big-integer arithmetic turns most ring
+    operations into two dict lookups.
+    """
+
+    supports_arbitrary_complex = False
+
+    def __init__(self) -> None:
+        self.table = WeightTable()
+        self._zero = self.table.intern(self._raw_zero())
+        self._one = self.table.intern(self._raw_one())
+        self._mul_memo = ComputeTable("weight_mul", 1 << 17)
+        self._add_memo = ComputeTable("weight_add", 1 << 17)
+        self._conj_memo = ComputeTable("weight_conj", 1 << 16)
+        self._norm_memo = ComputeTable("weight_normalize", 1 << 16)
+        self._div_memo = ComputeTable("weight_div", 1 << 16)
+        # Bound lookup for the interning fast path: almost every operand
+        # on the hot path is already a canonical instance, so a single
+        # dict probe replaces the ``intern_id`` call (miss -> full path).
+        self._id_of = self.table._by_identity.get
+        self._zero_id = self.table.intern_id(self._zero)
+        self._one_id = self.table.intern_id(self._one)
+
+    # Subclasses provide the raw ring constants and operations.
+
+    @abstractmethod
+    def _raw_zero(self) -> Any: ...
+
+    @abstractmethod
+    def _raw_one(self) -> Any: ...
+
+    @abstractmethod
+    def _raw_normalize(self, weights: Tuple[Any, ...]) -> Tuple[Any, Tuple[Any, ...]]: ...
+
+    # -- constants ------------------------------------------------------
+
+    @property
+    def zero(self) -> Any:
+        return self._zero
+
+    @property
+    def one(self) -> Any:
+        return self._one
+
+    # -- interning ------------------------------------------------------
+
+    def key(self, value: Any) -> int:
+        return self.table.intern_id(value)
+
+    # -- memoised arithmetic --------------------------------------------
+
+    def add(self, left: Any, right: Any) -> Any:
+        # Identity-only fast paths: hot-path weights are interned, so the
+        # canonical zero/one flow through as singletons.  Raw equal-but-
+        # not-identical values still get the right answer from the memo
+        # path below (the actual ring addition runs).
+        if left is self._zero:
+            return right
+        if right is self._zero:
+            return left
+        id_of = self._id_of
+        left_id = id_of(id(left))
+        if left_id is None:
+            left_id = self.table.intern_id(left)
+        right_id = id_of(id(right))
+        if right_id is None:
+            right_id = self.table.intern_id(right)
+        if right_id < left_id:
+            left_id, right_id = right_id, left_id
+        memo_key = (left_id, right_id)
+        result = self._add_memo.get(memo_key)
+        if result is None:
+            result = self.table.intern(self.table.value(left_id) + self.table.value(right_id))
+            self._add_memo.put(memo_key, result)
+        return result
+
+    def mul(self, left: Any, right: Any) -> Any:
+        if left is self._one:
+            return right
+        if right is self._one:
+            return left
+        if left is self._zero or right is self._zero:
+            return self._zero
+        id_of = self._id_of
+        left_id = id_of(id(left))
+        if left_id is None:
+            left_id = self.table.intern_id(left)
+        right_id = id_of(id(right))
+        if right_id is None:
+            right_id = self.table.intern_id(right)
+        if right_id < left_id:
+            left_id, right_id = right_id, left_id
+        memo_key = (left_id, right_id)
+        result = self._mul_memo.get(memo_key)
+        if result is None:
+            result = self.table.intern(self.table.value(left_id) * self.table.value(right_id))
+            self._mul_memo.put(memo_key, result)
+        return result
+
+    def neg(self, value: Any) -> Any:
+        return -value
+
+    def conj(self, value: Any) -> Any:
+        memo_key = self.table.intern_id(value)
+        result = self._conj_memo.get(memo_key)
+        if result is None:
+            result = self.table.intern(value.conj())
+            self._conj_memo.put(memo_key, result)
+        return result
+
+    def normalize(self, weights: Tuple[Any, ...]) -> Tuple[Any, Tuple[Any, ...]]:
+        eta, normalized, _keys = self.normalize_keyed(weights)
+        return eta, normalized
+
+    def normalize_keyed(
+        self, weights: Tuple[Any, ...]
+    ) -> Tuple[Any, Tuple[Any, ...], Tuple[int, ...]]:
+        intern_id = self.table.intern_id
+        if len(weights) == 2:
+            id_of = self._id_of
+            key0 = id_of(id(weights[0]))
+            if key0 is None:
+                key0 = intern_id(weights[0])
+            key1 = id_of(id(weights[1]))
+            if key1 is None:
+                key1 = intern_id(weights[1])
+            memo_key = (key0, key1)
+        else:
+            memo_key = tuple(intern_id(weight) for weight in weights)
+        result = self._norm_memo.get(memo_key)
+        if result is None:
+            result = self._normalize_miss(weights, memo_key)
+            self._norm_memo.put(memo_key, result)
+        return result
+
+    def _normalize_miss(
+        self, weights: Tuple[Any, ...], memo_key: Tuple[int, ...]
+    ) -> Tuple[Any, Tuple[Any, ...], Tuple[int, ...]]:
+        if len(weights) == 2:
+            # Scale-invariance fast path: for both exact normalisations
+            # ``normalize(c*w) == (c * eta', normalized')`` *exactly* --
+            # Algorithm 2 divides by the pivot (the common factor
+            # cancels) and Algorithm 3's gcd is multiplicative with an
+            # associate-invariant output.  Reducing to the ratio class
+            # ``(w0/pivot, w1/pivot)`` lets one raw normalisation serve
+            # every globally-rescaled weight tuple.
+            key0, key1 = memo_key
+            zero_id = self._zero_id
+            pivot_id = key0 if key0 != zero_id else key1
+            if pivot_id != self._one_id and pivot_id != zero_id:
+                value = self.table.value
+                pivot = value(pivot_id)
+                ratio0 = self.division_helper(value(key0), pivot)
+                ratio1 = self.division_helper(value(key1), pivot)
+                if ratio0 is not None and ratio1 is not None:
+                    base = self.normalize_keyed((ratio0, ratio1))
+                    return (self.mul(pivot, base[0]), base[1], base[2])
+        eta, normalized = self._raw_normalize(weights)
+        interned = tuple(self.table.intern(weight) for weight in normalized)
+        return (
+            self.table.intern(eta),
+            interned,
+            tuple(self.table.intern_id(weight) for weight in interned),
+        )
+
+    # -- predicates -----------------------------------------------------
+
+    def is_zero(self, value: Any) -> bool:
+        # Identity fast path: canonical zero flows through unchanged
+        # almost everywhere (zero edges share the interned instance).
+        return value is self._zero or value.is_zero()
+
+    def is_one(self, value: Any) -> bool:
+        return value is self._one or value.is_one()
+
+    # -- conversions ----------------------------------------------------
+
+    def from_complex(self, value: complex) -> Any:
+        raise DDError(
+            "the algebraic representation cannot import arbitrary complex "
+            "values; approximate the gate with Clifford+T first (repro.approx)"
+        )
+
+    def to_complex(self, value: Any) -> complex:
+        return value.to_complex()
+
+    def bit_width(self, value: Any) -> int:
+        return value.max_bit_width()
+
+    def weight_statistics(self) -> Dict[str, Dict[str, int]]:
+        stats: Dict[str, Dict[str, int]] = {"weight_table": self.table.statistics()}
+        for memo in (
+            self._mul_memo,
+            self._add_memo,
+            self._conj_memo,
+            self._norm_memo,
+            self._div_memo,
+        ):
+            stats[memo.name] = memo.statistics()
+        return stats
+
 
 # ---------------------------------------------------------------------------
 # Algebraic system with Q[omega] inverses (paper Algorithm 2)
 # ---------------------------------------------------------------------------
 
 
-class AlgebraicQOmegaSystem(NumberSystem):
+class AlgebraicQOmegaSystem(_InternedAlgebraicSystem):
     """Exact weights in the cyclotomic field ``Q[omega]``.
 
     Normalisation implements the paper's **Algorithm 2**: divide every
@@ -284,59 +576,17 @@ class AlgebraicQOmegaSystem(NumberSystem):
     """
 
     name = "algebraic-q"
-    supports_arbitrary_complex = False
 
-    _ZERO = QOmega.zero()
-    _ONE = QOmega.one()
+    def _raw_zero(self) -> QOmega:
+        return QOmega.zero()
 
-    @property
-    def zero(self) -> QOmega:
-        return self._ZERO
-
-    @property
-    def one(self) -> QOmega:
-        return self._ONE
-
-    def add(self, left: QOmega, right: QOmega) -> QOmega:
-        return left + right
-
-    def mul(self, left: QOmega, right: QOmega) -> QOmega:
-        if left.is_zero() or right.is_zero():
-            return self._ZERO
-        if left.is_one():
-            return right
-        if right.is_one():
-            return left
-        return left * right
-
-    def neg(self, value: QOmega) -> QOmega:
-        return -value
-
-    def conj(self, value: QOmega) -> QOmega:
-        return value.conj()
-
-    def is_zero(self, value: QOmega) -> bool:
-        return value.is_zero()
-
-    def is_one(self, value: QOmega) -> bool:
-        return value.is_one()
-
-    def key(self, value: QOmega) -> Tuple[int, ...]:
-        return value.key()
+    def _raw_one(self) -> QOmega:
+        return QOmega.one()
 
     def from_domega(self, value: DOmega) -> QOmega:
         return QOmega.from_domega(value)
 
-    def from_complex(self, value: complex) -> QOmega:
-        raise DDError(
-            "the algebraic representation cannot import arbitrary complex "
-            "values; approximate the gate with Clifford+T first (repro.approx)"
-        )
-
-    def to_complex(self, value: QOmega) -> complex:
-        return value.to_complex()
-
-    def normalize(self, weights: Tuple[QOmega, ...]) -> Tuple[QOmega, Tuple[QOmega, ...]]:
+    def _raw_normalize(self, weights: Tuple[QOmega, ...]) -> Tuple[QOmega, Tuple[QOmega, ...]]:
         pivot_index = -1
         for index, weight in enumerate(weights):
             if not weight.is_zero():
@@ -349,28 +599,36 @@ class AlgebraicQOmegaSystem(NumberSystem):
         normalized = []
         for index, weight in enumerate(weights):
             if weight.is_zero():
-                normalized.append(self._ZERO)
+                normalized.append(self._zero)
             elif index == pivot_index:
-                normalized.append(self._ONE)
+                normalized.append(self._one)
             else:
                 normalized.append(weight * inverse)
         return (eta, tuple(normalized))
 
-    def bit_width(self, value: QOmega) -> int:
-        return value.max_bit_width()
-
     def division_helper(self, numerator: QOmega, denominator: QOmega) -> Optional[QOmega]:
         if denominator.is_zero():
             return None
-        return numerator * denominator.inverse()
+        numerator_id = self.table.intern_id(numerator)
+        denominator_id = self.table.intern_id(denominator)
+        memo_key = (numerator_id, denominator_id)
+        result = self._div_memo.get(memo_key)
+        if result is None:
+            result = self.table.intern(numerator * denominator.inverse())
+            self._div_memo.put(memo_key, result)
+        return result
 
 
 # ---------------------------------------------------------------------------
 # Algebraic system with D[omega] GCDs (paper Algorithm 3)
 # ---------------------------------------------------------------------------
 
+#: Sentinel cached by :meth:`AlgebraicGcdSystem.division_helper` for pairs
+#: whose quotient leaves ``D[omega]`` (a plain ``None`` would read as a miss).
+_INEXACT = object()
 
-class AlgebraicGcdSystem(NumberSystem):
+
+class AlgebraicGcdSystem(_InternedAlgebraicSystem):
     """Exact weights in the ring ``D[omega]`` with GCD normalisation.
 
     Normalisation implements the paper's **Algorithm 3**: the
@@ -383,77 +641,126 @@ class AlgebraicGcdSystem(NumberSystem):
     """
 
     name = "algebraic-gcd"
-    supports_arbitrary_complex = False
 
-    _ZERO = DOmega.zero()
-    _ONE = DOmega.one()
+    def __init__(self) -> None:
+        super().__init__()
+        # canonical_associate is a fundamental-unit walk plus a
+        # lexicographic scan; the same pivot quotients recur across many
+        # weight tuples, so memoise per canonical key.
+        self._assoc_memo = ComputeTable("weight_assoc", 1 << 15)
 
-    @property
-    def zero(self) -> DOmega:
-        return self._ZERO
+    def _raw_zero(self) -> DOmega:
+        return DOmega.zero()
 
-    @property
-    def one(self) -> DOmega:
-        return self._ONE
-
-    def add(self, left: DOmega, right: DOmega) -> DOmega:
-        return left + right
-
-    def mul(self, left: DOmega, right: DOmega) -> DOmega:
-        if left.is_zero() or right.is_zero():
-            return self._ZERO
-        if left.is_one():
-            return right
-        if right.is_one():
-            return left
-        return left * right
-
-    def neg(self, value: DOmega) -> DOmega:
-        return -value
-
-    def conj(self, value: DOmega) -> DOmega:
-        return value.conj()
-
-    def is_zero(self, value: DOmega) -> bool:
-        return value.is_zero()
-
-    def is_one(self, value: DOmega) -> bool:
-        return value.is_one()
-
-    def key(self, value: DOmega) -> Tuple[int, ...]:
-        return value.key()
+    def _raw_one(self) -> DOmega:
+        return DOmega.one()
 
     def from_domega(self, value: DOmega) -> DOmega:
         return value
 
-    def from_complex(self, value: complex) -> DOmega:
-        raise DDError(
-            "the algebraic representation cannot import arbitrary complex "
-            "values; approximate the gate with Clifford+T first (repro.approx)"
-        )
-
-    def to_complex(self, value: DOmega) -> complex:
-        return value.to_complex()
-
-    def normalize(self, weights: Tuple[DOmega, ...]) -> Tuple[DOmega, Tuple[DOmega, ...]]:
+    def _raw_normalize(self, weights: Tuple[DOmega, ...]) -> Tuple[DOmega, Tuple[DOmega, ...]]:
         nonzero = [weight for weight in weights if not weight.is_zero()]
         if not nonzero:
             raise DDError("normalize called on all-zero weights")
-        divisor = DOmega.gcd(nonzero)
-        pivot = next(weight for weight in weights if not weight.is_zero())
+        pivot = nonzero[0]
+        # Fast path: the pivot divides every other weight.  Then every
+        # gcd is an associate of the pivot, the pivot quotient is a unit
+        # and Algorithm 3's output collapses to ``eta = pivot`` with
+        # weights ``w_i / pivot`` -- identical to the general path
+        # (independent of which associate the Euclidean gcd returns) but
+        # without the Euclidean loop or the canonical-associate walk.
+        # Empirically this covers the large majority of fresh tuples in
+        # simulation (single non-zero children, proportional branches).
+        quotients: Optional[List[DOmega]] = []
+        for weight in nonzero[1:]:
+            quotient = self.division_helper(weight, pivot)
+            if quotient is None:
+                quotients = None
+                break
+            quotients.append(quotient)
+        if quotients is not None:
+            iterator = iter([self._one] + quotients)
+            normalized = tuple(
+                self._zero if weight.is_zero() else next(iterator) for weight in weights
+            )
+            return (pivot, normalized)
+        # Second fast path: detect a *unit* gcd without running the
+        # Euclidean algorithm.  ``sqrt2`` (hence 2) is a unit of
+        # ``D[omega]``, so any common divisor ``g`` satisfies
+        # ``E(g) | gcd_i E(w_i)`` over the integer Euclidean norms of the
+        # numerators; when that integer gcd is a power of two, ``E(g)``
+        # is too and ``g`` is a unit.  The output below is invariant
+        # under the choice of associate, so ``divisor = 1`` (an associate
+        # of any unit) gives the same result as the Euclidean gcd.  This
+        # covers e.g. permuted children of an already-normalised node
+        # (coprime weights -- the Euclidean loop's worst case) and the
+        # Hadamard sums ``(a + b, a - b)`` of a coprime pair, whose gcd
+        # divides the unit 2.
+        norm_gcd = 0
+        for weight in nonzero:
+            norm_gcd = _int_gcd(norm_gcd, weight.numerator_euclidean_norm())
+            if norm_gcd == 1:
+                break
+        if norm_gcd & (norm_gcd - 1) == 0:
+            divisor = DOmega.one()
+        else:
+            # Third fast path: some *other* weight divides the rest, so
+            # it is itself an associate of the gcd.
+            divisor = None
+            for candidate in nonzero[1:]:
+                if all(
+                    self.division_helper(weight, candidate) is not None
+                    for weight in nonzero
+                    if weight is not candidate
+                ):
+                    divisor = candidate
+                    break
+            if divisor is None:
+                divisor = DOmega.gcd(nonzero)
         # Algorithm 3 lines 5-10: adjust the GCD by a unit so the leftmost
         # non-zero weight becomes its canonical associate.
-        pivot_quotient = pivot.exact_divide(divisor)
-        canonical, unit = pivot_quotient.canonical_associate()
-        eta = divisor * unit
-        unit_inverse = unit.unit_inverse()
+        unit_divisor = divisor.k == 0 and divisor.zeta.is_one()
+        pivot_quotient = pivot if unit_divisor else pivot.exact_divide(divisor)
+        assoc_key = pivot_quotient.key()
+        pair = self._assoc_memo.get(assoc_key)
+        if pair is None:
+            _canonical, unit = pivot_quotient.canonical_associate()
+            pair = (self.table.intern(unit), self.table.intern(unit.unit_inverse()))
+            self._assoc_memo.put(assoc_key, pair)
+        unit, unit_inverse = pair
+        eta = unit if unit_divisor else divisor * unit
+        division_helper = self.division_helper
+        mul = self.mul
         normalized = []
         for weight in weights:
             if weight.is_zero():
-                normalized.append(self._ZERO)
+                normalized.append(self._zero)
             else:
-                normalized.append(weight.exact_divide(divisor) * unit_inverse)
+                quotient = weight if unit_divisor else division_helper(weight, divisor)
+                normalized.append(mul(quotient, unit_inverse))
         return (eta, tuple(normalized))
 
-    def bit_width(self, value: DOmega) -> int:
-        return value.max_bit_width()
+    def weight_statistics(self) -> Dict[str, Dict[str, int]]:
+        stats = super().weight_statistics()
+        stats[self._assoc_memo.name] = self._assoc_memo.statistics()
+        return stats
+
+    def division_helper(self, numerator: DOmega, denominator: DOmega) -> Optional[DOmega]:
+        if denominator.is_zero():
+            return None
+        id_of = self._id_of
+        numerator_id = id_of(id(numerator))
+        if numerator_id is None:
+            numerator_id = self.table.intern_id(numerator)
+        denominator_id = id_of(id(denominator))
+        if denominator_id is None:
+            denominator_id = self.table.intern_id(denominator)
+        memo_key = (numerator_id, denominator_id)
+        result = self._div_memo.get(memo_key)
+        if result is None:
+            try:
+                result = self.table.intern(numerator.exact_divide(denominator))
+            except InexactDivisionError:
+                result = _INEXACT
+            self._div_memo.put(memo_key, result)
+        return None if result is _INEXACT else result

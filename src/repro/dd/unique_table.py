@@ -1,10 +1,18 @@
-"""Hash-consing of QMDD nodes (the *unique table*).
+"""Hash-consing of QMDD nodes (the *unique table*) and bounded
+memoisation tables (*compute tables*).
 
 The unique table guarantees that two structurally identical nodes (same
 level, same children, same canonical edge-weight keys) are the *same*
 Python object.  Together with edge-weight normalisation this makes the
 QMDD a canonical representation (paper Section II-B): equality of
 (sub-)matrices reduces to pointer equality of nodes.
+
+:class:`ComputeTable` is the shared memoisation primitive behind the
+manager's operation caches (add, mat-vec, mat-mat, kron, apply) and the
+weight-arithmetic memos of the algebraic number systems: a bounded dict
+with hit/miss/insert counters and wholesale eviction once full (the
+cheap strategy of the established DD packages, which overwrite entries
+rather than grow without bound).
 """
 
 from __future__ import annotations
@@ -13,7 +21,56 @@ from typing import Any, Dict, Tuple
 
 from repro.dd.edge import Edge, Node
 
-__all__ = ["UniqueTable"]
+__all__ = ["UniqueTable", "ComputeTable"]
+
+
+class ComputeTable:
+    """A bounded memo table with hit/miss/insert/eviction counters."""
+
+    __slots__ = ("name", "capacity", "hits", "misses", "inserts", "evictions", "_table")
+
+    def __init__(self, name: str, capacity: int = 1 << 18) -> None:
+        if capacity < 1:
+            raise ValueError("compute-table capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self._table: Dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key: Any) -> Any:
+        value = self._table.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if len(self._table) >= self.capacity:
+            self._table.clear()
+            self.evictions += 1
+        self._table[key] = value
+        self.inserts += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; they describe the run)."""
+        self._table.clear()
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "size": len(self._table),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+        }
 
 
 class UniqueTable:
@@ -47,7 +104,10 @@ class UniqueTable:
         weights (as provided by the active number system); the children
         node identities are taken from their stable ``uid``.
         """
-        key = (level, tuple(edge.node.uid for edge in edges), weight_keys)
+        if len(edges) == 2:
+            key = (level, (edges[0].node.uid, edges[1].node.uid), weight_keys)
+        else:
+            key = (level, tuple(edge.node.uid for edge in edges), weight_keys)
         node = self._table.get(key)
         if node is not None:
             self.hits += 1
@@ -79,4 +139,10 @@ class UniqueTable:
         return len(dead)
 
     def statistics(self) -> Dict[str, int]:
-        return {"size": len(self._table), "hits": self.hits, "misses": self.misses}
+        # Every miss interns a fresh node, so inserts == misses.
+        return {
+            "size": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.misses,
+        }

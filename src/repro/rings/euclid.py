@@ -17,7 +17,6 @@ remainder with strictly smaller norm exists.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from itertools import product
 from typing import Tuple
 
@@ -27,23 +26,31 @@ from repro.rings.zomega import ZOmega
 __all__ = ["euclidean_divmod", "gcd_zomega", "gcd_many"]
 
 
-def _round_half_even(value: Fraction) -> int:
-    """Round an exact rational to the nearest integer (ties to even)."""
-    floor = value.numerator // value.denominator
-    remainder = value - floor
-    if remainder > Fraction(1, 2):
+def _round_ratio_half_even(numerator: int, denominator: int) -> int:
+    """Round ``numerator / denominator`` (``denominator > 0``) to the
+    nearest integer, ties to even -- pure integer arithmetic (the hot
+    loop used to route through :class:`fractions.Fraction`, whose
+    constructor runs an integer gcd per call)."""
+    floor, remainder = divmod(numerator, denominator)
+    doubled = remainder << 1
+    if doubled > denominator:
         return floor + 1
-    if remainder < Fraction(1, 2):
+    if doubled < denominator:
         return floor
-    return floor + (floor % 2)
+    return floor + (floor & 1)
 
 
-def _quotient_fractions(z1: ZOmega, z2: ZOmega) -> Tuple[Fraction, Fraction, Fraction, Fraction]:
-    """The exact coefficients of ``z1 / z2`` in ``Q[omega]``."""
+def _quotient_ratio(z1: ZOmega, z2: ZOmega) -> Tuple[Tuple[int, int, int, int], int]:
+    """The exact coefficients of ``z1 / z2`` in ``Q[omega]`` as an
+    integer coefficient quadruple over a positive common denominator."""
     u, v = z2.norm_zsqrt2()
-    numerator = z1 * z2.conj() * (ZOmega.from_int(u) - ZOmega.sqrt2() * v)
+    # (u - v*sqrt2) = v*w^3 + 0*w^2 - v*w + u
+    numerator = z1 * z2.conj() * ZOmega(v, 0, -v, u)
     denominator = u * u - 2 * v * v
-    return tuple(Fraction(coefficient, denominator) for coefficient in numerator.coefficients())
+    if denominator < 0:
+        numerator = -numerator
+        denominator = -denominator
+    return numerator.coefficients(), denominator
 
 
 def euclidean_divmod(z1: ZOmega, z2: ZOmega) -> Tuple[ZOmega, ZOmega]:
@@ -53,8 +60,8 @@ def euclidean_divmod(z1: ZOmega, z2: ZOmega) -> Tuple[ZOmega, ZOmega]:
     """
     if z2.is_zero():
         raise ZeroDivisionRingError("Euclidean division by zero in Z[omega]")
-    exact = _quotient_fractions(z1, z2)
-    rounded = [_round_half_even(coefficient) for coefficient in exact]
+    coefficients, denominator = _quotient_ratio(z1, z2)
+    rounded = [_round_ratio_half_even(coefficient, denominator) for coefficient in coefficients]
     quotient = ZOmega(*rounded)
     remainder = z1 - quotient * z2
     bound = z2.euclidean_norm()
@@ -86,6 +93,10 @@ def gcd_zomega(z1: ZOmega, z2: ZOmega) -> ZOmega:
     (Algorithm 3's normalisation) applies its own unit-selection rules
     afterwards.  ``gcd(0, 0) = 0`` by convention.
     """
+    if z1.is_zero():
+        return z2
+    if z2.is_zero():
+        return z1
     while not z2.is_zero():
         _, remainder = euclidean_divmod(z1, z2)
         z1, z2 = z2, remainder

@@ -45,7 +45,7 @@ class QOmega:
     integer inputs (any sign/parity of ``e``).
     """
 
-    __slots__ = ("zeta", "k", "e")
+    __slots__ = ("zeta", "k", "e", "_key", "_hash")
 
     def __init__(self, zeta: ZOmega, k: int = 0, e: int = 1) -> None:
         if not isinstance(zeta, ZOmega):
@@ -75,6 +75,8 @@ class QOmega:
         object.__setattr__(self, "zeta", zeta)
         object.__setattr__(self, "k", k)
         object.__setattr__(self, "e", e)
+        object.__setattr__(self, "_key", zeta.coefficients() + (k, e))
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("QOmega instances are immutable")
@@ -121,18 +123,22 @@ class QOmega:
     # ------------------------------------------------------------------
 
     def key(self) -> Tuple[int, int, int, int, int, int]:
-        """Canonical hashable key ``(a, b, c, d, k, e)``."""
-        return self.zeta.coefficients() + (self.k, self.e)
+        """Canonical hashable key ``(a, b, c, d, k, e)`` (precomputed)."""
+        return self._key
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, int):
             other = QOmega.from_int(other)
         if not isinstance(other, QOmega):
             return NotImplemented
-        return self.key() == other.key()
+        return self._key == other._key
 
     def __hash__(self) -> int:
-        return hash(("QOmega",) + self.key())
+        cached = self._hash
+        if cached is None:
+            cached = hash(("QOmega",) + self._key)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __bool__(self) -> bool:
         return not self.zeta.is_zero()

@@ -56,12 +56,13 @@ class ZOmega:
     arbitrary precision (the GMP substitute, see DESIGN.md section 3).
     """
 
-    __slots__ = ("a", "b", "c", "d")
+    __slots__ = ("a", "b", "c", "d", "_norm2")
 
     def __init__(self, a: int, b: int, c: int, d: int) -> None:
-        for name, value in (("a", a), ("b", b), ("c", c), ("d", d)):
-            if not isinstance(value, int):
-                raise TypeError(f"coefficient {name} must be int, got {type(value).__name__}")
+        if not (type(a) is int and type(b) is int and type(c) is int and type(d) is int):
+            for name, value in (("a", a), ("b", b), ("c", c), ("d", d)):
+                if not isinstance(value, int):
+                    raise TypeError(f"coefficient {name} must be int, got {type(value).__name__}")
         object.__setattr__(self, "a", a)
         object.__setattr__(self, "b", b)
         object.__setattr__(self, "c", c)
@@ -92,7 +93,7 @@ class ZOmega:
     @classmethod
     def omega(cls) -> "ZOmega":
         """The primitive 8-th root of unity ``w = e^{i pi/4}``."""
-        return cls(0, 0, 1, 0)
+        return _OMEGA
 
     @classmethod
     def imag_unit(cls) -> "ZOmega":
@@ -142,11 +143,11 @@ class ZOmega:
         return hash(("ZOmega",) + self.coefficients())
 
     def __bool__(self) -> bool:
-        return self.coefficients() != (0, 0, 0, 0)
+        return bool(self.a or self.b or self.c or self.d)
 
     def is_zero(self) -> bool:
         """True iff this is the additive identity."""
-        return not self
+        return not (self.a or self.b or self.c or self.d)
 
     def is_one(self) -> bool:
         """True iff this is the multiplicative identity."""
@@ -246,10 +247,12 @@ class ZOmega:
         (corrected sign; see module docstring).  Both are non-negative
         in absolute value bounded by ``u`` since ``|z|^2 >= 0``.
         """
-        a, b, c, d = self.coefficients()
-        u = a * a + b * b + c * c + d * d
-        v = a * b + b * c + c * d - a * d
-        return (u, v)
+        cached = getattr(self, "_norm2", None)
+        if cached is None:
+            a, b, c, d = self.a, self.b, self.c, self.d
+            cached = (a * a + b * b + c * c + d * d, a * b + b * c + c * d - a * d)
+            object.__setattr__(self, "_norm2", cached)
+        return cached
 
     def euclidean_norm(self) -> int:
         """The absolute field norm ``E(z) = |u^2 - 2 v^2|``.
@@ -376,3 +379,4 @@ class ZOmega:
 
 _ZERO = ZOmega(0, 0, 0, 0)
 _ONE = ZOmega(0, 0, 0, 1)
+_OMEGA = ZOmega(0, 0, 1, 0)

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.circuits.circuit import Circuit, Operation
+from repro.dd.apply import prepare_gate
 from repro.dd.edge import Edge
 from repro.dd.gatebuild import build_gate_dd
 from repro.dd.manager import DDManager
@@ -70,12 +71,26 @@ class Simulator:
     record_bit_widths:
         Collect the max integer bit-width after every gate (slightly
         costly; needed for the Fig. 5 overhead analysis).
+    use_apply_kernel:
+        Apply gates through the direct vector-DD kernel
+        (:func:`repro.dd.apply.apply_gate`) instead of building a matrix
+        DD and multiplying.  Both paths yield the same canonical state;
+        the kernel skips the identity levels.  ``unitary`` and
+        ``run_matrix_matrix`` always use matrix DDs regardless.
     """
 
-    def __init__(self, manager: DDManager, record_bit_widths: bool = False) -> None:
+    def __init__(
+        self,
+        manager: DDManager,
+        record_bit_widths: bool = False,
+        use_apply_kernel: bool = True,
+    ) -> None:
         self.manager = manager
         self.record_bit_widths = record_bit_widths
+        self.use_apply_kernel = use_apply_kernel
         self._gate_cache: Dict[Tuple, Edge] = {}
+        self._entry_cache: Dict[Tuple, Tuple[Any, ...]] = {}
+        self._kernel_cache: Dict[Tuple, Any] = {}
 
     # ------------------------------------------------------------------
 
@@ -105,14 +120,44 @@ class Simulator:
     def _import_entries(self, operation: Operation) -> Tuple[Any, ...]:
         system = self.manager.system
         gate = operation.gate
+        key = (gate.name, gate.params)
+        cached = self._entry_cache.get(key)
+        if cached is not None:
+            return cached
         if gate.exact is not None:
-            return tuple(system.from_domega(entry) for entry in gate.exact)
-        if not system.supports_arbitrary_complex:
+            entries = tuple(system.from_domega(entry) for entry in gate.exact)
+        elif not system.supports_arbitrary_complex:
             raise SimulationError(
                 f"gate {gate.name!r} has no exact D[omega] representation; "
                 "compile it to Clifford+T first (repro.approx.approximate_circuit)"
             )
-        return tuple(system.from_complex(entry) for entry in gate.matrix)
+        else:
+            entries = tuple(system.from_complex(entry) for entry in gate.matrix)
+        self._entry_cache[key] = entries
+        return entries
+
+    def _apply_operation(self, state: Edge, operation: Operation) -> Edge:
+        """One gate application: direct kernel or matrix-DD fallback."""
+        if self.use_apply_kernel:
+            key = (
+                operation.gate.name,
+                operation.gate.params,
+                operation.target,
+                operation.controls,
+                operation.negative_controls,
+            )
+            kernel = self._kernel_cache.get(key)
+            if kernel is None:
+                kernel = prepare_gate(
+                    self.manager,
+                    self._import_entries(operation),
+                    operation.target,
+                    controls=operation.controls,
+                    negative_controls=operation.negative_controls,
+                )
+                self._kernel_cache[key] = kernel
+            return kernel.apply(state)
+        return self.manager.mat_vec(self.gate_dd(operation), state)
 
     # ------------------------------------------------------------------
 
@@ -141,8 +186,7 @@ class Simulator:
         )
         started = time.perf_counter()
         for index, operation in enumerate(circuit):
-            gate = self.gate_dd(operation)
-            state = self.manager.mat_vec(gate, state)
+            state = self._apply_operation(state, operation)
             elapsed = time.perf_counter() - started
             width = self.manager.max_bit_width(state) if self.record_bit_widths else 0
             trace.steps.append(
@@ -160,7 +204,7 @@ class Simulator:
 
     def apply(self, state: Edge, operation: Operation) -> Edge:
         """Apply a single gate to a state edge (no trace)."""
-        return self.manager.mat_vec(self.gate_dd(operation), state)
+        return self._apply_operation(state, operation)
 
     def unitary(self, circuit: Circuit) -> Edge:
         """The full circuit unitary as a matrix DD (gate-matrix products

@@ -145,10 +145,15 @@ class TestValidation:
             Simulator(numeric_manager(2)).run(Circuit(3).h(0))
 
     def test_gate_cache_reuse(self):
+        # Kernel path: the ten identical gates share one prepared kernel.
         simulator = Simulator(algebraic_manager(2))
         circuit = Circuit(2)
         for _ in range(10):
             circuit.h(0)
+        simulator.run(circuit)
+        assert len(simulator._kernel_cache) == 1
+        # Matrix-DD fallback: they share one built gate DD.
+        simulator = Simulator(algebraic_manager(2), use_apply_kernel=False)
         simulator.run(circuit)
         assert len(simulator._gate_cache) == 1
 
