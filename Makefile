@@ -2,13 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures examples clean lint typecheck sanitize-smoke
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Project-specific static analysis (RL001-RL005; see tools/repro_lint).
+lint:
+	$(PYTHON) -m tools.repro_lint src/repro
+
+# mypy --strict over the canonical core (config in pyproject.toml).
+# Skips gracefully when mypy is not installed (it is not a runtime or
+# test dependency); CI installs it for the typecheck job.
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+	    && MYPYPATH=src $(PYTHON) -m mypy -p repro.rings -p repro.dd \
+	    || echo "mypy not installed; skipping (pip install mypy to run locally)"
+
+# Fast end-to-end sanitizer run: simulate under check-every-op and fail
+# on any invariant violation.
+sanitize-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize --algorithm grover \
+	    --qubits 5 --system algebraic-gcd --mode check-every-op
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize --algorithm grover \
+	    --qubits 5 --system numeric --eps 1e-12 --mode check-every-op
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

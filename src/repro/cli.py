@@ -14,6 +14,10 @@ Subcommands mirror the evaluation workflow:
 
 ``repro-qmdd ablation --qubits 5``
     The normalisation-scheme ablation of Section V-B.
+
+``repro-qmdd sanitize --algorithm grover --qubits 6 --mode check-every-op``
+    Simulate under the DD sanitizer and report the invariant-check
+    coverage (nodes / edges / memo entries / amplitudes verified).
 """
 
 from __future__ import annotations
@@ -76,6 +80,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"final DD size: {result.node_count} nodes")
     print(f"run-time: {result.trace.total_seconds:.3f} s")
     print(f"zero collapse: {'yes' if result.is_zero_state else 'no'}")
+    return 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.dd.sanitizer import Sanitizer, SanitizerMode
+    from repro.errors import SanitizerError
+
+    circuit = _build_circuit(args)
+    manager = _build_manager(args.system, args.eps, circuit.num_qubits)
+    mode = SanitizerMode.coerce(args.mode)
+    if mode is SanitizerMode.OFF:
+        raise SystemExit("sanitize: --mode must be check-on-root or check-every-op")
+    simulator = Simulator(manager, sanitize=mode)
+    print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
+    print(f"system:  {manager.system.name}   mode: {mode.value}")
+    try:
+        result = simulator.run(circuit)
+    except SanitizerError as error:
+        print(f"FAIL {error}")
+        return 1
+    sanitizer = simulator.sanitizer
+    assert sanitizer is not None
+    print(sanitizer.total.summary())
+    print(f"final DD size: {result.node_count} nodes")
+    print(f"run-time: {result.trace.total_seconds:.3f} s")
     return 0
 
 
@@ -218,6 +247,21 @@ def main(argv: Optional[list] = None) -> int:
     )
     simulate.add_argument("--eps", type=float, default=0.0)
     simulate.set_defaults(func=_cmd_simulate)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="simulate under the DD invariant sanitizer"
+    )
+    add_circuit_args(sanitize)
+    sanitize.add_argument(
+        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
+    )
+    sanitize.add_argument("--eps", type=float, default=0.0)
+    sanitize.add_argument(
+        "--mode",
+        choices=("check-on-root", "check-every-op"),
+        default="check-on-root",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     tradeoff = sub.add_parser("tradeoff", help="run the epsilon sweep")
     add_circuit_args(tradeoff)

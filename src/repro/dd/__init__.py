@@ -12,7 +12,10 @@ Public surface:
 * :func:`~repro.dd.apply.apply_gate` for direct (matrix-free) gate
   application to a state vector DD;
 * :func:`~repro.dd.metrics.collect_metrics` for the paper's size /
-  bit-width measurements and :func:`~repro.dd.dot.to_dot` for rendering.
+  bit-width measurements and :func:`~repro.dd.dot.to_dot` for rendering;
+* :class:`~repro.dd.sanitizer.Sanitizer` /
+  :func:`~repro.dd.sanitizer.sanitize_dd` for runtime verification of
+  the canonical-form invariants.
 """
 
 from repro.dd.apply import apply_gate, prepare_gate
@@ -33,6 +36,13 @@ from repro.dd.number_system import (
     NumberSystem,
     NumericSystem,
 )
+from repro.dd.sanitizer import (
+    Sanitizer,
+    SanitizerMode,
+    SanitizerReport,
+    SanitizerViolation,
+    sanitize_dd,
+)
 
 __all__ = [
     "AlgebraicGcdSystem",
@@ -43,6 +53,10 @@ __all__ = [
     "Node",
     "NumberSystem",
     "NumericSystem",
+    "Sanitizer",
+    "SanitizerMode",
+    "SanitizerReport",
+    "SanitizerViolation",
     "TERMINAL",
     "algebraic_gcd_manager",
     "algebraic_manager",
@@ -58,5 +72,6 @@ __all__ = [
     "loads",
     "numeric_manager",
     "prepare_gate",
+    "sanitize_dd",
     "to_dot",
 ]

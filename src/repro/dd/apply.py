@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Sequence
 
-from repro.dd.edge import Edge, TERMINAL
+from repro.dd.edge import Edge, Node, TERMINAL
 from repro.dd.gatebuild import build_gate_dd
 from repro.dd.manager import DDManager
 from repro.errors import CircuitError, LevelMismatchError
@@ -234,7 +234,9 @@ class _ApplyKernel:
                 entries, target, controls, negatives = self._matrix_spec
                 gate = build_gate_dd(manager, entries, target, controls, negatives)
                 self._matrix_gate = gate
+            manager.apply_delegated_ops += 1
             return manager.mat_vec(gate, state)
+        manager.apply_direct_ops += 1
         weight = manager.system.mul(self.eta, state.weight)
         return self._scaled(self._apply_node(state.node), weight)
 
@@ -262,7 +264,7 @@ class _ApplyKernel:
             return result
         return Edge(result.node, self.system.mul(result.weight, weight))
 
-    def _apply_node(self, node) -> Edge:
+    def _apply_node(self, node: Node) -> Edge:
         cache_key = (self._key_apply, node.uid)
         cached = self._cache.get(cache_key)
         if cached is not None:

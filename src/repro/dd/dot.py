@@ -7,7 +7,7 @@ unlabelled, zero edges drawn as stubs).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict
 
 from repro.dd.edge import Edge, iter_nodes
 from repro.dd.manager import DDManager
@@ -15,7 +15,7 @@ from repro.dd.manager import DDManager
 __all__ = ["to_dot"]
 
 
-def _format_weight(manager: DDManager, weight) -> str:
+def _format_weight(manager: DDManager, weight: Any) -> str:
     value = manager.system.to_complex(weight)
     if abs(value.imag) < 1e-12:
         return f"{value.real:.4g}"

@@ -108,9 +108,9 @@ class _GateBuilder:
         self.target_level = target_level
         self.controls = controls
         self.negative_controls = negative_controls
-        self._identity_cache: Dict[int, Edge] = {}
-        self._sat_cache: Dict[int, Edge] = {}
-        self._unsat_cache: Dict[int, Edge] = {}
+        self._identity_cache: Dict[int, Edge] = {}  # repro-lint: allow[RL005] (one entry per level)
+        self._sat_cache: Dict[int, Edge] = {}  # repro-lint: allow[RL005] (one entry per level)
+        self._unsat_cache: Dict[int, Edge] = {}  # repro-lint: allow[RL005] (one entry per level)
 
     def _qubit(self, level: int) -> int:
         return self.manager.num_qubits - level

@@ -74,7 +74,13 @@ class DDManager:
         self._mat_mat_cache = ComputeTable("mat_mat")
         self._kron_cache = ComputeTable("kron")
         self._apply_cache = ComputeTable("apply")
-        self._gate_signatures: Dict[Tuple, int] = {}
+        self._gate_signatures: Dict[Tuple[Any, ...], int] = {}
+        # Apply-kernel routing counters (see repro.dd.apply): the direct
+        # kernel handles most gates itself but the numeric system with a
+        # control *below* the target delegates to the matrix path to
+        # stay bit-identical with the established operation order.
+        self.apply_direct_ops = 0
+        self.apply_delegated_ops = 0
         # Edges are immutable in practice; sharing one zero edge avoids
         # an allocation on every zero child in the hot path.
         self._zero_edge = Edge(TERMINAL, self.system.zero)
@@ -729,11 +735,24 @@ class DDManager:
             "matrix_dropped": self._matrix_table.retain(live),
         }
 
+    def sanitize(
+        self, edge: Edge, *, raise_on_violation: bool = True, **options: Any
+    ) -> Any:
+        """Run a full sanitizer pass over ``edge`` (see
+        :func:`repro.dd.sanitizer.sanitize_dd`)."""
+        from repro.dd.sanitizer import sanitize_dd
+
+        return sanitize_dd(
+            self, edge, raise_on_violation=raise_on_violation, **options
+        )
+
     def statistics(self) -> Dict[str, Any]:
         return {
             "system": self.system.name,
             "vector_nodes": len(self._vector_table),
             "matrix_nodes": len(self._matrix_table),
+            "apply_direct_ops": self.apply_direct_ops,
+            "apply_delegated_ops": self.apply_delegated_ops,
             "add_cache": len(self._add_cache),
             "mat_vec_cache": len(self._mat_vec_cache),
             "mat_mat_cache": len(self._mat_mat_cache),

@@ -100,6 +100,15 @@ class WeightTable:
     def value(self, eid: int) -> Any:
         return self._values[eid]
 
+    def lookup_key(self, key: Tuple) -> Optional[int]:
+        """The id registered for a canonical ring key, or ``None``.
+
+        Sanitizer hook: unlike :meth:`intern_id` this never inserts, so
+        probing whether a weight is a registered canonical instance has
+        no side effect that would mask the violation on a later probe.
+        """
+        return self._by_key.get(key)
+
     def statistics(self) -> Dict[str, int]:
         return {"entries": len(self._values)}
 
@@ -191,6 +200,30 @@ class NumberSystem(ABC):
         """
         eta, normalized = self.normalize(weights)
         return eta, normalized, tuple(self.key(weight) for weight in normalized)
+
+    # -- sanitizer hooks ---------------------------------------------------------
+
+    def check_canonical(self, value: Any) -> Optional[str]:
+        """Why ``value`` is *not* a canonical weight, or ``None`` if it is.
+
+        The sanitizer calls this on every edge weight of a walked DD.
+        A canonical weight is (a) in the representation's normal form
+        (Algorithm 1 for the exact systems, the eps-snap residue
+        property for the numeric table) and (b) the *registered*
+        instance of the system's interning table, so weight keys
+        round-trip.  The check must be side-effect free: it must not
+        intern the probed value.
+        """
+        return None
+
+    def value_for_key(self, key: Any) -> Any:
+        """The canonical weight registered under a table ``key``.
+
+        Inverse of :meth:`key` for keys that were handed out before;
+        used by the sanitizer to replay compute-table entries whose
+        keys embed weight keys.  Raises if the key is unknown.
+        """
+        raise DDError(f"system {self.name!r} cannot resolve weight keys")
 
     # -- optional metrics ----------------------------------------------------------
 
@@ -341,6 +374,32 @@ class NumericSystem(NumberSystem):
         if denominator is self.table.zero:
             return None
         return self.table.lookup(numerator.value / denominator.value)
+
+    # -- sanitizer hooks ---------------------------------------------------------
+
+    def check_canonical(self, value: ComplexEntry) -> Optional[str]:
+        if not isinstance(value, ComplexEntry):
+            return f"weight {value!r} is not a ComplexEntry of the tolerance table"
+        registered = self.table.entry(value.index)
+        if registered is None or registered is not value:
+            return (
+                f"entry index {value.index} does not round-trip through the "
+                "complex table (shadow ComplexEntry instance)"
+            )
+        # eps-snap residue: a stored value must identify with itself --
+        # looking it up again may never create or pick another entry.
+        if self.table.lookup(value.value) is not value:
+            return (
+                f"stored value {value.value!r} no longer snaps onto its own "
+                f"entry within eps={self.eps:g}"
+            )
+        return None
+
+    def value_for_key(self, key: int) -> ComplexEntry:
+        entry = self.table.entry(key)
+        if entry is None:
+            raise DDError(f"unknown complex-table index {key!r}")
+        return entry
 
     def weight_statistics(self) -> Dict[str, Dict[str, int]]:
         return {"weight_table": {"entries": len(self.table)}}
@@ -532,6 +591,43 @@ class _InternedAlgebraicSystem(NumberSystem):
     def is_one(self, value: Any) -> bool:
         return value is self._one or value.is_one()
 
+    # -- sanitizer hooks ------------------------------------------------
+
+    @abstractmethod
+    def _recanonicalize(self, value: Any) -> Any:
+        """Rebuild ``value`` through the ring constructor.
+
+        The constructors apply the representation's normal form
+        (Algorithm 1 for ``D[omega]``; the extended reduction for
+        ``Q[omega]``), so a value is in normal form iff rebuilding it
+        reproduces the same canonical key.
+        """
+
+    def check_canonical(self, value: Any) -> Optional[str]:
+        try:
+            rebuilt = self._recanonicalize(value)
+        except Exception as error:  # malformed ring element
+            return f"weight {value!r} cannot be recanonicalised: {error}"
+        if rebuilt.key() != value.key():
+            return (
+                f"weight {value!r} is not in ring normal form "
+                f"(recanonicalises to {rebuilt!r})"
+            )
+        eid = self.table.lookup_key(value.key())
+        if eid is None:
+            return f"weight {value!r} was never interned in the WeightTable"
+        if self.table.value(eid) is not value:
+            return (
+                f"weight {value!r} is a shadow instance of interned id {eid} "
+                "(weight ids would not round-trip)"
+            )
+        return None
+
+    def value_for_key(self, key: int) -> Any:
+        if not isinstance(key, int) or not 0 <= key < len(self.table):
+            raise DDError(f"unknown weight-table id {key!r}")
+        return self.table.value(key)
+
     # -- conversions ----------------------------------------------------
 
     def from_complex(self, value: complex) -> Any:
@@ -585,6 +681,9 @@ class AlgebraicQOmegaSystem(_InternedAlgebraicSystem):
 
     def from_domega(self, value: DOmega) -> QOmega:
         return QOmega.from_domega(value)
+
+    def _recanonicalize(self, value: QOmega) -> QOmega:
+        return QOmega(value.zeta, value.k, value.e)
 
     def _raw_normalize(self, weights: Tuple[QOmega, ...]) -> Tuple[QOmega, Tuple[QOmega, ...]]:
         pivot_index = -1
@@ -657,6 +756,11 @@ class AlgebraicGcdSystem(_InternedAlgebraicSystem):
 
     def from_domega(self, value: DOmega) -> DOmega:
         return value
+
+    def _recanonicalize(self, value: DOmega) -> DOmega:
+        # Algorithm 1: the constructor divides out sqrt2 while the
+        # parity criterion holds, so this re-derives the minimal k.
+        return DOmega(value.zeta, value.k)
 
     def _raw_normalize(self, weights: Tuple[DOmega, ...]) -> Tuple[DOmega, Tuple[DOmega, ...]]:
         nonzero = [weight for weight in weights if not weight.is_zero()]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.dd.edge import Edge
+from repro.dd.edge import Edge, Node
 from repro.dd.manager import DDManager
 from repro.dd.number_system import (
     AlgebraicGcdSystem,
@@ -79,7 +79,7 @@ def dumps(manager: DDManager, edge: Edge) -> str:
     order: List = []
     index_of: Dict[int, int] = {}
 
-    def visit(node) -> int:
+    def visit(node: Node) -> int:
         if node.is_terminal:
             return -1
         existing = index_of.get(node.uid)

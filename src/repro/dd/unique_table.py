@@ -13,11 +13,16 @@ weight-arithmetic memos of the algebraic number systems: a bounded dict
 with hit/miss/insert counters and wholesale eviction once full (the
 cheap strategy of the established DD packages, which overwrite entries
 rather than grow without bound).
+
+Both tables keep their counters *monotonic*: eviction and ``clear``
+drop entries but never reset ``hits``/``misses``/``inserts``, so
+``statistics()`` always describes the whole run (the sanitizer and the
+benchmarks rely on this when comparing counter snapshots).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.dd.edge import Edge, Node
 
@@ -27,7 +32,16 @@ __all__ = ["UniqueTable", "ComputeTable"]
 class ComputeTable:
     """A bounded memo table with hit/miss/insert/eviction counters."""
 
-    __slots__ = ("name", "capacity", "hits", "misses", "inserts", "evictions", "_table")
+    __slots__ = (
+        "name",
+        "capacity",
+        "hits",
+        "misses",
+        "inserts",
+        "evictions",
+        "evicted_entries",
+        "_table",
+    )
 
     def __init__(self, name: str, capacity: int = 1 << 18) -> None:
         if capacity < 1:
@@ -38,6 +52,7 @@ class ComputeTable:
         self.misses = 0
         self.inserts = 0
         self.evictions = 0
+        self.evicted_entries = 0
         self._table: Dict[Any, Any] = {}
 
     def __len__(self) -> int:
@@ -53,6 +68,10 @@ class ComputeTable:
 
     def put(self, key: Any, value: Any) -> None:
         if len(self._table) >= self.capacity:
+            # Wholesale eviction: cheap, and the counters are cumulative
+            # (``evicted_entries`` accounts for the dropped entries), so
+            # ``statistics()`` stays monotonic across the swap.
+            self.evicted_entries += len(self._table)
             self._table.clear()
             self.evictions += 1
         self._table[key] = value
@@ -60,7 +79,28 @@ class ComputeTable:
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; they describe the run)."""
+        self.evicted_entries += len(self._table)
         self._table.clear()
+
+    # -- sanitizer access ------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over the live ``(key, value)`` entries.
+
+        Deterministic (dict insertion order); used by the sanitizer to
+        sample entries for replay.  Do not mutate the table while
+        iterating.
+        """
+        return iter(self._table.items())
+
+    def discard(self, key: Any) -> Any:
+        """Remove one entry (no counter changes); returns it or ``None``.
+
+        Sanitizer hook: an entry is taken out, recomputed from scratch
+        and compared against the removed value (simply re-getting it
+        would answer the question with the memo under test).
+        """
+        return self._table.pop(key, None)
 
     def statistics(self) -> Dict[str, int]:
         return {
@@ -70,6 +110,7 @@ class ComputeTable:
             "misses": self.misses,
             "inserts": self.inserts,
             "evictions": self.evictions,
+            "evicted_entries": self.evicted_entries,
         }
 
 
@@ -82,8 +123,8 @@ class UniqueTable:
     would otherwise collide across arities.
     """
 
-    def __init__(self, uid_source=None) -> None:
-        self._table: Dict[Tuple, Node] = {}
+    def __init__(self, uid_source: Optional[Callable[[], int]] = None) -> None:
+        self._table: Dict[Tuple[Any, ...], Node] = {}
         if uid_source is None:
             from itertools import count
 
@@ -95,6 +136,14 @@ class UniqueTable:
     def __len__(self) -> int:
         return len(self._table)
 
+    @staticmethod
+    def _key(
+        level: int, edges: Tuple[Edge, ...], weight_keys: Tuple[Any, ...]
+    ) -> Tuple[Any, ...]:
+        if len(edges) == 2:
+            return (level, (edges[0].node.uid, edges[1].node.uid), weight_keys)
+        return (level, tuple(edge.node.uid for edge in edges), weight_keys)
+
     def get_or_create(
         self, level: int, edges: Tuple[Edge, ...], weight_keys: Tuple[Any, ...]
     ) -> Node:
@@ -104,10 +153,7 @@ class UniqueTable:
         weights (as provided by the active number system); the children
         node identities are taken from their stable ``uid``.
         """
-        if len(edges) == 2:
-            key = (level, (edges[0].node.uid, edges[1].node.uid), weight_keys)
-        else:
-            key = (level, tuple(edge.node.uid for edge in edges), weight_keys)
+        key = self._key(level, edges, weight_keys)
         node = self._table.get(key)
         if node is not None:
             self.hits += 1
@@ -117,13 +163,30 @@ class UniqueTable:
         self._table[key] = node
         return node
 
-    def clear(self) -> None:
-        """Drop all interned nodes (invalidates outstanding edges)."""
-        self._table.clear()
-        self.hits = 0
-        self.misses = 0
+    def resident(
+        self, level: int, edges: Tuple[Edge, ...], weight_keys: Tuple[Any, ...]
+    ) -> Optional[Node]:
+        """The interned node for this key, or ``None`` -- never creates.
 
-    def retain(self, live_uids) -> int:
+        Sanitizer hook: a reachable node is canonical iff ``resident``
+        of its own key returns that very object (anything else is a
+        shadow duplicate that escaped hash-consing).
+        """
+        return self._table.get(self._key(level, edges, weight_keys))
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all interned nodes (sanitizer/uid-map hook)."""
+        return iter(self._table.values())
+
+    def clear(self) -> None:
+        """Drop all interned nodes (invalidates outstanding edges).
+
+        Counters are cumulative and survive, mirroring
+        :meth:`ComputeTable.clear`.
+        """
+        self._table.clear()
+
+    def retain(self, live_uids: Iterable[int]) -> int:
         """Garbage-collect: keep only nodes whose uid is in ``live_uids``.
 
         Returns the number of entries dropped.  Outstanding edges to
@@ -133,7 +196,8 @@ class UniqueTable:
         retain uid sets closed under reachability (the manager's
         ``prune`` computes that closure).
         """
-        dead = [key for key, node in self._table.items() if node.uid not in live_uids]
+        live = set(live_uids)
+        dead = [key for key, node in self._table.items() if node.uid not in live]
         for key in dead:
             del self._table[key]
         return len(dead)

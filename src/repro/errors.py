@@ -43,6 +43,45 @@ class DDError(ReproError):
     """Base class for decision-diagram structural errors."""
 
 
+class SanitizerError(DDError):
+    """A canonical-form invariant violation found by the DD sanitizer.
+
+    Raised by :mod:`repro.dd.sanitizer` when a walk over a decision
+    diagram (or a sample of the compute tables) finds state that breaks
+    one of the invariants canonicity rests on.  The structured fields
+    let tests and tooling assert on the *kind* of violation:
+
+    ``code``
+        A short stable identifier, one of
+        ``level-structure``, ``zero-edge-form``, ``weight-form``,
+        ``normalization``, ``shadow-node``, ``stale-memo``,
+        ``amplitude-mismatch``.
+    ``path``
+        Child indices from the root edge to the offending node
+        (empty for the root itself; ``None`` for non-walk findings
+        such as stale compute-table entries).
+    ``node_uid``
+        The uid of the offending node, when one is involved.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        path: "tuple[int, ...] | None" = None,
+        node_uid: "int | None" = None,
+    ) -> None:
+        location = ""
+        if path is not None:
+            location = f" at path {'/'.join(map(str, path)) or '<root>'}"
+        if node_uid is not None:
+            location += f" (node uid {node_uid})"
+        super().__init__(f"[{code}]{location}: {message}")
+        self.code = code
+        self.path = path
+        self.node_uid = node_uid
+
+
 class LevelMismatchError(DDError):
     """Raised when combining decision diagrams over different qubit counts."""
 

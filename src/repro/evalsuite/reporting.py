@@ -44,7 +44,7 @@ def _format_cell(cell: object) -> str:
     if isinstance(cell, bool):
         return "yes" if cell else "no"
     if isinstance(cell, float):
-        if cell == 0.0:
+        if cell == 0.0:  # repro-lint: allow[RL003] (display formatting, exact zero)
             return "0"
         if abs(cell) < 1e-3 or abs(cell) >= 1e5:
             return f"{cell:.2e}"

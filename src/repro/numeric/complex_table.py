@@ -103,6 +103,16 @@ class ComplexTable:
     def entries(self) -> Tuple[ComplexEntry, ...]:
         return tuple(self._entries)
 
+    def entry(self, index: int) -> Optional[ComplexEntry]:
+        """The entry at ``index``, or ``None`` if out of range.
+
+        Sanitizer hook: lets the DD layer verify that an edge weight's
+        ``index`` round-trips to the very same interned object.
+        """
+        if isinstance(index, int) and 0 <= index < len(self._entries):
+            return self._entries[index]
+        return None
+
     def _bucket_key(self, value: complex) -> Tuple[int, int]:
         return (int(round(value.real / self._grid)), int(round(value.imag / self._grid)))
 
@@ -131,7 +141,7 @@ class ComplexTable:
         value = complex(value)
         if self.precision == "single":
             value = _round_to_single(value)
-        if self.eps == 0.0:
+        if self.eps == 0.0:  # repro-lint: allow[RL003] (eps=0 is an exact sentinel)
             key = (value.real + 0.0, value.imag + 0.0)  # normalise -0.0
             entry = self._exact.get(key)
             if entry is None:

@@ -10,7 +10,7 @@ synthesis (:mod:`repro.synth`) is built.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Sequence, Tuple
 
 from repro.errors import RingError
 from repro.rings.domega import DOmega
@@ -42,7 +42,7 @@ class Matrix2:
         return cls(DOmega.one(), DOmega.zero(), DOmega.zero(), DOmega.one())
 
     @classmethod
-    def from_rows(cls, rows) -> "Matrix2":
+    def from_rows(cls, rows: Sequence[Sequence[DOmega]]) -> "Matrix2":
         (a, b), (c, d) = rows
         return cls(a, b, c, d)
 

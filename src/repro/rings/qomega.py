@@ -26,7 +26,7 @@ Inverses follow the paper's recipe: for ``z`` with relative norm
 
 from __future__ import annotations
 
-from math import gcd as int_gcd
+from math import gcd as int_gcd  # repro-lint: allow[RL002] (integer gcd is exact)
 from typing import Tuple
 
 from repro.errors import ZeroDivisionRingError
@@ -35,7 +35,7 @@ from repro.rings.zomega import ZOmega
 
 __all__ = ["QOmega"]
 
-_SQRT2 = 1.4142135623730951
+_SQRT2 = 1.4142135623730951  # repro-lint: allow[RL002] (to_complex conversion boundary)
 
 
 class QOmega:
@@ -257,7 +257,7 @@ class QOmega:
         magnitude = max(abs(a), abs(b), abs(c), abs(d), 1)
         if magnitude.bit_length() > 900 or abs(self.k) > 1800 or self.e.bit_length() > 900:
             return self._to_complex_scaled()
-        inv = 1.0 / _SQRT2
+        inv = 1.0 / _SQRT2  # repro-lint: allow[RL002] (to_complex conversion boundary)
         re = float(d) + (float(c) - float(a)) * inv
         im = float(b) + (float(c) + float(a)) * inv
         scale = _SQRT2 ** (-self.k) / float(self.e)

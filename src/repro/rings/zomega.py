@@ -297,7 +297,7 @@ class ZOmega:
 
     def content(self) -> int:
         """The GCD of the absolute coefficient values (0 for zero)."""
-        from math import gcd
+        from math import gcd  # repro-lint: allow[RL002] (integer gcd is exact)
 
         return gcd(gcd(abs(self.a), abs(self.b)), gcd(abs(self.c), abs(self.d)))
 
@@ -344,7 +344,7 @@ class ZOmega:
         for display, plotting and the accuracy *metric* (where the
         numeric side is the noisy one anyway).
         """
-        inv_sqrt2 = 0.7071067811865476
+        inv_sqrt2 = 0.7071067811865476  # repro-lint: allow[RL002] (to_complex conversion boundary)
         # w = (1+i)/sqrt2, w^2 = i, w^3 = (-1+i)/sqrt2
         re = float(self.d) + (float(self.c) - float(self.a)) * inv_sqrt2
         im = float(self.b) + (float(self.c) + float(self.a)) * inv_sqrt2

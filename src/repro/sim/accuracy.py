@@ -32,7 +32,7 @@ def state_error(v_num: np.ndarray, v_alg: np.ndarray) -> float:
     if v_num.shape != v_alg.shape:
         raise ValueError("vectors must have identical shapes")
     norm = np.linalg.norm(v_num)
-    if norm == 0.0:
+    if norm == 0.0:  # repro-lint: allow[RL003] (exact-zero guard before division)
         return float(np.linalg.norm(v_alg))
     # Also align the global phase: a simulator-global phase offset is as
     # harmless as a length error, so compare after optimal phase match.

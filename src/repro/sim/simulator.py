@@ -27,6 +27,7 @@ from repro.dd.apply import prepare_gate
 from repro.dd.edge import Edge
 from repro.dd.gatebuild import build_gate_dd
 from repro.dd.manager import DDManager
+from repro.dd.sanitizer import Sanitizer, SanitizerMode
 from repro.errors import SimulationError
 from repro.sim.trace import SimulationStep, SimulationTrace
 
@@ -77,6 +78,12 @@ class Simulator:
         DD and multiplying.  Both paths yield the same canonical state;
         the kernel skips the identity levels.  ``unitary`` and
         ``run_matrix_matrix`` always use matrix DDs regardless.
+    sanitize:
+        A :class:`~repro.dd.sanitizer.SanitizerMode` (or its string
+        value / ``True``): ``"off"`` (default), ``"check-on-root"``
+        (full invariant check of the final state of each :meth:`run`)
+        or ``"check-every-op"`` (a full check after every gate).
+        Violations raise :class:`~repro.errors.SanitizerError`.
     """
 
     def __init__(
@@ -84,10 +91,15 @@ class Simulator:
         manager: DDManager,
         record_bit_widths: bool = False,
         use_apply_kernel: bool = True,
+        sanitize: "SanitizerMode | str | bool | None" = None,
     ) -> None:
         self.manager = manager
         self.record_bit_widths = record_bit_widths
         self.use_apply_kernel = use_apply_kernel
+        mode = SanitizerMode.coerce(sanitize)
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(manager, mode) if mode is not SanitizerMode.OFF else None
+        )
         self._gate_cache: Dict[Tuple, Edge] = {}
         self._entry_cache: Dict[Tuple, Tuple[Any, ...]] = {}
         self._kernel_cache: Dict[Tuple, Any] = {}
@@ -184,9 +196,15 @@ class Simulator:
             circuit_name=circuit.name,
             num_qubits=circuit.num_qubits,
         )
+        sanitizer = self.sanitizer
+        check_every_op = (
+            sanitizer is not None and sanitizer.mode is SanitizerMode.CHECK_EVERY_OP
+        )
         started = time.perf_counter()
         for index, operation in enumerate(circuit):
             state = self._apply_operation(state, operation)
+            if check_every_op:
+                sanitizer.check_state(state)
             elapsed = time.perf_counter() - started
             width = self.manager.max_bit_width(state) if self.record_bit_widths else 0
             trace.steps.append(
@@ -200,6 +218,8 @@ class Simulator:
             )
             if step_callback is not None:
                 step_callback(index, state)
+        if sanitizer is not None and not check_every_op:
+            sanitizer.check_state(state)
         return SimulationResult(manager=self.manager, state=state, trace=trace)
 
     def apply(self, state: Edge, operation: Operation) -> Edge:

@@ -1,0 +1,79 @@
+"""Tier-1 harness for the repro-lint self-test corpus.
+
+Each file in ``tools/repro_lint/tests/cases`` is a minimal bad example
+declaring its virtual lint path (``# lint-path:``) and marking every
+line that must fire (``# lint-expect: RL00X``).  The tests assert the
+linter fires *exactly* on those lines -- no misses, no extras -- and
+stays quiet on the real source tree.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint import RULES, lint_file, lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CASES_DIR = REPO_ROOT / "tools" / "repro_lint" / "tests" / "cases"
+CASE_FILES = sorted(CASES_DIR.glob("*.py"))
+
+_PATH_HEADER = re.compile(r"#\s*lint-path:\s*(\S+)")
+_EXPECT = re.compile(r"#\s*lint-expect:\s*(RL\d{3})")
+
+
+def _parse_case(path: Path):
+    source = path.read_text(encoding="utf-8")
+    header = _PATH_HEADER.search(source)
+    assert header is not None, f"{path.name} is missing a '# lint-path:' header"
+    expected = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            expected.add((lineno, match.group(1)))
+    return source, header.group(1), expected
+
+
+@pytest.mark.parametrize("case", CASE_FILES, ids=lambda p: p.stem)
+def test_case_fires_exactly_where_expected(case):
+    source, virtual_path, expected = _parse_case(case)
+    assert expected, f"{case.name} marks no expected findings"
+    findings = lint_source(source, virtual_path)
+    got = {(finding.line, finding.rule) for finding in findings}
+    assert got == expected, (
+        f"{case.name}: expected findings {sorted(expected)}, got {sorted(got)}"
+    )
+
+
+def test_every_rule_has_a_bad_example():
+    covered = set()
+    for case in CASE_FILES:
+        _, _, expected = _parse_case(case)
+        covered.update(rule for _, rule in expected)
+    assert covered == {rule.code for rule in RULES}
+
+
+def test_real_source_tree_is_clean():
+    findings = lint_paths([str(REPO_ROOT / "src" / "repro")])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_corpus_files_not_linted_under_real_path():
+    # Corpus files live under tools/repro_lint/ and are exempt when
+    # linted under their *real* path -- they only fire under the
+    # declared virtual path (so a tree-wide lint run stays clean).
+    for case in CASE_FILES:
+        assert lint_file(str(case)) == []
+
+
+def test_pragma_suppresses_only_named_rule():
+    source = "x = 1.0 == y  # repro-lint: allow[RL001]\n"
+    findings = lint_source(source, "src/repro/dd/sample.py")
+    assert [f.rule for f in findings] == ["RL003"]
+    source = "x = 1.0 == y  # repro-lint: allow[RL003]\n"
+    assert lint_source(source, "src/repro/dd/sample.py") == []
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint_source("def broken(:\n", "src/repro/dd/sample.py")
+    assert len(findings) == 1 and findings[0].rule == "RL000"

@@ -1,0 +1,1 @@
+"""Development tooling for the repro codebase (not part of the library)."""

@@ -1,0 +1,27 @@
+"""repro-lint: custom static analysis for the canonical QMDD core.
+
+See :mod:`tools.repro_lint.linter` for the rule catalogue (RL001-RL005)
+and the pragma syntax.  Run as ``python -m tools.repro_lint``.
+"""
+
+from tools.repro_lint.linter import (
+    Finding,
+    Rule,
+    RULES,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

@@ -1,0 +1,8 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+import sys
+
+from tools.repro_lint.linter import main
+
+if __name__ == "__main__":
+    sys.exit(main())

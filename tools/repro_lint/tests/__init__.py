@@ -1,0 +1,10 @@
+"""Self-test corpus for repro-lint.
+
+``cases/`` holds one minimal *bad example* per rule.  Each case file
+declares the virtual path it should be linted under (rules are
+path-scoped) with a ``# lint-path:`` header and marks every line that
+must fire with ``# lint-expect: RL00X``.  The harness in
+``tests/test_repro_lint.py`` asserts the finding set matches the
+markers exactly -- each rule fires precisely where expected, nowhere
+else -- and that the real ``src/repro`` tree stays clean.
+"""

@@ -1,0 +1,16 @@
+# lint-path: src/repro/dd/rogue_builder.py
+"""RL001: hand-built nodes bypass hash-consing."""
+
+from repro.dd.edge import Edge, Node
+from repro.dd import edge as edge_mod
+
+
+def rogue(level, children):
+    node = Node(17, level, tuple(children))  # lint-expect: RL001
+    also = edge_mod.Node(18, level, ())  # lint-expect: RL001
+    return Edge(node, 1), also
+
+
+def fine(manager, level, children):
+    # The blessed path: normalised and interned.
+    return manager.make_node(level, children)

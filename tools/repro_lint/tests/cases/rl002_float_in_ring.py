@@ -1,0 +1,16 @@
+# lint-path: src/repro/rings/sloppy_ring.py
+"""RL002: floats and math imports must not leak into the exact rings."""
+
+import math  # lint-expect: RL002
+from cmath import exp  # lint-expect: RL002
+
+HALF = 0.5  # lint-expect: RL002
+PHASE = 1j  # lint-expect: RL002
+
+ANCHOR = 1.4142135623730951  # repro-lint: allow[RL002] (conversion boundary)
+
+INTEGERS_ARE_FINE = 42
+
+
+def uses(value):
+    return exp(value) * math.pi

@@ -1,0 +1,17 @@
+# lint-path: src/repro/numeric/sloppy_compare.py
+"""RL003: naive equality against float/complex literals."""
+
+
+def classify(amplitude, norm):
+    if amplitude == 0.0:  # lint-expect: RL003
+        return "zero"
+    if norm != 1.0:  # lint-expect: RL003
+        return "unnormalised"
+    if amplitude == 1j:  # lint-expect: RL003
+        return "imaginary unit"
+    if norm == 1:  # integer sentinel: not flagged
+        return "unit"
+    exact_eps = 0.0
+    if exact_eps == 0.0:  # repro-lint: allow[RL003] (exact sentinel)
+        return "exact mode"
+    return "other"

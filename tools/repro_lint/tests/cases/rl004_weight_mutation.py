@@ -1,0 +1,15 @@
+# lint-path: src/repro/dd/weight_mutator.py
+"""RL004: interned weight objects are shared -- never mutate them."""
+
+
+def corrupt(entry, weight):
+    entry.value = complex(0, 0)  # lint-expect: RL004
+    weight.k += 1  # lint-expect: RL004
+    object.__setattr__(weight, "zeta", None)  # lint-expect: RL004
+    return entry
+
+
+class Holder:
+    def __init__(self, value):
+        # Plain self-attribute assignment is not a weight mutation.
+        self.value = value

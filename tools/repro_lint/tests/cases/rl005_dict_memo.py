@@ -1,0 +1,18 @@
+# lint-path: src/repro/dd/greedy_cache.py
+"""RL005: DD-layer memos must be bounded ComputeTables."""
+
+from typing import Any, Dict
+
+
+class GreedyKernel:
+    def __init__(self):
+        self._result_cache = {}  # lint-expect: RL005
+        self._walk_memo: Dict[int, Any] = dict()  # lint-expect: RL005
+        self._level_cache: Dict[int, Any] = {}  # repro-lint: allow[RL005] (one entry per level)
+        self._signatures = {}  # not a cache/memo name: not flagged
+
+    def compute(self, key):
+        # Function-local memos are bounded by the call and are fine.
+        memo = {}
+        memo[key] = key
+        return memo[key]
