@@ -31,6 +31,7 @@ import pytest
 from repro.algorithms.grover import grover_circuit
 from repro.algorithms.gse import gse_circuit
 from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.evalsuite.reporting import hit_rate_rows
 from repro.sim.simulator import Simulator
 
 FAST = os.environ.get("BENCH_FAST") == "1"
@@ -45,15 +46,17 @@ SYSTEMS = {
     "algebraic-gcd": algebraic_gcd_manager,
 }
 
-#: Cache counters worth reporting as hit rates (the rest are size-only).
+#: Registry table names worth reporting as hit rates (the rest are
+#: size-only).  These are the dotted names the manager's metrics
+#: collector emits (see docs/OBSERVABILITY.md).
 REPORTED_TABLES = (
-    "apply",
-    "add",
-    "weight_mul",
-    "weight_add",
-    "weight_normalize",
-    "weight_div",
-    "weight_assoc",
+    "dd.ct.apply",
+    "dd.ct.add",
+    "weights.weight_mul",
+    "weights.weight_add",
+    "weights.weight_normalize",
+    "weights.weight_div",
+    "weights.weight_assoc",
 )
 
 
@@ -98,17 +101,19 @@ def _interleaved_best(operations, num_qubits, factory):
 
 
 def _hit_rate_lines(manager):
+    rows = {
+        row[0]: row
+        for row in hit_rate_rows(manager.telemetry.metrics.snapshot())
+    }
     lines = []
-    stats = manager.cache_stats()
     for name in REPORTED_TABLES:
-        counters = stats.get(name)
-        if counters is None:
+        row = rows.get(name)
+        if row is None:
             continue
-        lookups = counters["hits"] + counters["misses"]
-        rate = counters["hits"] / lookups if lookups else 0.0
+        _, _, hits, misses, rate = row
         lines.append(
-            f"    {name:18s} hits={counters['hits']:>8d} "
-            f"misses={counters['misses']:>8d} hit-rate={rate:6.1%}"
+            f"    {name:26s} hits={hits:>8d} "
+            f"misses={misses:>8d} hit-rate={rate or 0.0:6.1%}"
         )
     return lines
 

@@ -38,3 +38,11 @@ def test_strategy(benchmark, circuit_name, strategy):
     reference_manager = algebraic_manager(circuit.num_qubits)
     reference = Simulator(reference_manager).run(circuit).state
     assert manager.node_count(state) == reference_manager.node_count(reference)
+    # The obs registry must agree with the strategy actually exercised:
+    # per-gate counting on the vector path, mat_mat probes on the
+    # block-combining paths.
+    snapshot = manager.telemetry.metrics.snapshot()
+    if BLOCKS[strategy] == "vector":
+        assert snapshot["sim.gates"] == len(circuit)
+    else:
+        assert snapshot["dd.ct.mat_mat.hits"] + snapshot["dd.ct.mat_mat.misses"] > 0

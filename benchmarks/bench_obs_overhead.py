@@ -1,0 +1,116 @@
+"""Overhead of the telemetry layer on the simulation hot path.
+
+The obs design promise (docs/OBSERVABILITY.md) is that metrics-only
+telemetry -- the default for every manager -- is invisible: hot tables
+keep plain integer counters sampled lazily by a collector, and the only
+push instruments on the per-gate path are a handful of counter/gauge
+updates.  This benchmark times 8-qubit Grover (min-of-``REPS``,
+interleaved, GC off, fresh managers) under all three number systems in
+three telemetry modes:
+
+* ``disabled``  -- ``Telemetry.disabled()``: null instruments, no spans.
+* ``metrics``   -- the default ``Telemetry()``: live registry, no spans.
+* ``tracing``   -- ``Telemetry.tracing()``: spans recorded to the ring
+  (reported for reference, not bounded -- it is a profiling mode).
+
+The acceptance bound is metrics-vs-disabled <= ``MAX_METRICS_OVERHEAD``
+per system.  ``BENCH_FAST=1`` shrinks the workload to a CI smoke run
+(and loosens the bound: single-rep timings on shared runners are noisy).
+"""
+
+import gc
+import os
+import time
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import algebraic_gcd_manager, algebraic_manager, numeric_manager
+from repro.obs import Telemetry
+from repro.sim.simulator import Simulator
+
+FAST = os.environ.get("BENCH_FAST") == "1"
+REPS = 1 if FAST else 5
+GROVER_QUBITS = 6 if FAST else 8
+MAX_METRICS_OVERHEAD = 1.25 if FAST else 1.05
+
+SYSTEMS = {
+    "numeric": lambda n, telemetry: numeric_manager(n, eps=0.0, telemetry=telemetry),
+    "algebraic-q": algebraic_manager,
+    "algebraic-gcd": algebraic_gcd_manager,
+}
+
+MODES = {
+    "disabled": Telemetry.disabled,
+    "metrics": Telemetry,
+    "tracing": Telemetry.tracing,
+}
+
+
+def _timed_run(circuit, factory, make_telemetry):
+    """One cold run; returns (seconds, registry snapshot).
+
+    The manager is *not* returned: a numeric eps=0 manager pins a large
+    interned complex table (and the manager <-> registry collector is a
+    reference cycle, so only the cycle collector frees it).  Retaining
+    managers across runs would hand whichever mode runs first on a
+    clean heap an unfair min-of-REPS; instead every run starts from a
+    ``gc.collect()``-ed heap and only the (small) snapshot survives.
+    """
+    manager = factory(circuit.num_qubits, telemetry=make_telemetry())
+    simulator = Simulator(manager)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    simulator.run(circuit)
+    elapsed = time.perf_counter() - start
+    if gc_was_enabled:
+        gc.enable()
+    return elapsed, manager.telemetry.metrics.snapshot()
+
+
+def _interleaved_best(circuit, factory):
+    _timed_run(circuit, factory, Telemetry)  # warm-up (imports, pyc)
+    best = {mode: float("inf") for mode in MODES}
+    snapshots = {}
+    for _ in range(REPS):
+        for mode, make_telemetry in MODES.items():
+            elapsed, snapshot = _timed_run(circuit, factory, make_telemetry)
+            if elapsed < best[mode]:
+                best[mode], snapshots[mode] = elapsed, snapshot
+    return best, snapshots
+
+
+def test_metrics_overhead(artifact_writer):
+    circuit = grover_circuit(GROVER_QUBITS, 5)
+    lines = [
+        f"telemetry overhead on {circuit.name} "
+        f"({circuit.num_qubits} qubits, {len(circuit)} gates; "
+        f"min-of-{REPS}, interleaved, gc off, fresh managers; "
+        f"bound: metrics <= {MAX_METRICS_OVERHEAD:.2f}x disabled)",
+        "",
+    ]
+    failures = []
+    for name, factory in SYSTEMS.items():
+        best, snapshots = _interleaved_best(circuit, factory)
+        ratio_metrics = best["metrics"] / best["disabled"]
+        ratio_tracing = best["tracing"] / best["disabled"]
+        lines.append(
+            f"{name:14s} disabled={best['disabled']:8.4f}s "
+            f"metrics={best['metrics']:8.4f}s ({ratio_metrics:4.2f}x) "
+            f"tracing={best['tracing']:8.4f}s ({ratio_tracing:4.2f}x)"
+        )
+        snapshot = snapshots["metrics"]
+        lines.append(
+            f"    metrics-mode registry: sim.gates={snapshot['sim.gates']} "
+            f"dd.apply.direct={snapshot['dd.apply.direct']} "
+            f"instruments+collected={len(snapshot)}"
+        )
+        # The registry must have counted the run it timed.
+        assert snapshot["sim.gates"] == len(circuit)
+        if ratio_metrics > MAX_METRICS_OVERHEAD:
+            failures.append((name, ratio_metrics))
+    artifact_writer("obs_overhead.txt", "\n".join(lines))
+    assert not failures, (
+        f"metrics-only telemetry exceeded the {MAX_METRICS_OVERHEAD}x bound: "
+        f"{failures}"
+    )

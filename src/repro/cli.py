@@ -18,6 +18,15 @@ Subcommands mirror the evaluation workflow:
 ``repro-qmdd sanitize --algorithm grover --qubits 6 --mode check-every-op``
     Simulate under the DD sanitizer and report the invariant-check
     coverage (nodes / edges / memo entries / amplitudes verified).
+
+``repro-qmdd profile --algorithm grover --qubits 6``
+    Run one benchmark with tracing on and print the top spans by total
+    time plus the engine-table hit-rate table (see
+    ``docs/OBSERVABILITY.md``).
+
+``repro-qmdd trace --algorithm grover --qubits 6 --out trace.json``
+    Run one benchmark and export the span ring as Chrome
+    ``trace_event`` JSON (open in https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -43,8 +52,14 @@ from repro.evalsuite.experiments import (
     fig5_gse,
     shape_checks,
 )
-from repro.evalsuite.reporting import format_table, render_series, render_summary
+from repro.evalsuite.reporting import (
+    format_table,
+    render_metrics,
+    render_series,
+    render_summary,
+)
 from repro.evalsuite.tradeoff import run_tradeoff
+from repro.obs import Telemetry, aggregate_spans, write_chrome_trace, write_jsonl
 from repro.sim.simulator import Simulator
 
 __all__ = ["main"]
@@ -61,13 +76,15 @@ def _build_circuit(args: argparse.Namespace) -> Circuit:
     raise SystemExit(f"unknown algorithm {args.algorithm!r}")
 
 
-def _build_manager(system: str, eps: float, num_qubits: int):
+def _build_manager(
+    system: str, eps: float, num_qubits: int, telemetry: Optional[Telemetry] = None
+):
     if system == "algebraic":
-        return algebraic_manager(num_qubits)
+        return algebraic_manager(num_qubits, telemetry=telemetry)
     if system == "algebraic-gcd":
-        return algebraic_gcd_manager(num_qubits)
+        return algebraic_gcd_manager(num_qubits, telemetry=telemetry)
     if system == "numeric":
-        return numeric_manager(num_qubits, eps=eps)
+        return numeric_manager(num_qubits, eps=eps, telemetry=telemetry)
     raise SystemExit(f"unknown number system {system!r}")
 
 
@@ -105,6 +122,54 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     print(sanitizer.total.summary())
     print(f"final DD size: {result.node_count} nodes")
     print(f"run-time: {result.trace.total_seconds:.3f} s")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    circuit = _build_circuit(args)
+    telemetry = Telemetry.tracing(detail=args.detail)
+    manager = _build_manager(args.system, args.eps, circuit.num_qubits, telemetry)
+    result = Simulator(manager).run(circuit)
+    print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
+    print(f"system:  {manager.system.name}")
+    print(f"final DD size: {result.node_count} nodes")
+    print(f"run-time: {result.trace.total_seconds:.3f} s")
+    print()
+    rows = aggregate_spans(telemetry.tracer.spans())[: args.top]
+    print(f"top spans by total time (of {len(telemetry.tracer)} recorded):")
+    print(
+        format_table(
+            ["span", "count", "total_s", "mean_s", "max_s"],
+            [
+                [name, count, round(total, 6), round(mean, 6), round(peak, 6)]
+                for name, count, total, mean, peak in rows
+            ],
+        )
+    )
+    if telemetry.tracer.dropped:
+        print(f"(ring full: {telemetry.tracer.dropped} older spans dropped)")
+    print()
+    print("engine table hit rates:")
+    print(render_metrics(telemetry.metrics.snapshot()))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    circuit = _build_circuit(args)
+    telemetry = Telemetry.tracing(detail=args.detail)
+    manager = _build_manager(args.system, args.eps, circuit.num_qubits, telemetry)
+    Simulator(manager).run(circuit)
+    spans = telemetry.tracer.spans()
+    if args.jsonl:
+        count = write_jsonl(spans, args.jsonl)
+        print(f"wrote {count} spans to {args.jsonl}")
+    document = write_chrome_trace(spans, args.out)
+    print(
+        f"wrote {len(document['traceEvents'])} trace events to {args.out} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    if telemetry.tracer.dropped:
+        print(f"(ring full: {telemetry.tracer.dropped} older spans dropped)")
     return 0
 
 
@@ -262,6 +327,35 @@ def main(argv: Optional[list] = None) -> int:
         default="check-on-root",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    profile = sub.add_parser(
+        "profile", help="top spans + engine hit rates for one benchmark"
+    )
+    add_circuit_args(profile)
+    profile.add_argument(
+        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
+    )
+    profile.add_argument("--eps", type=float, default=0.0)
+    profile.add_argument("--top", type=int, default=15, help="span rows to print")
+    profile.add_argument(
+        "--detail",
+        action="store_true",
+        help="record fine-grained spans (normalisation, table lookups; slow)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace", help="export spans as Chrome trace_event JSON"
+    )
+    add_circuit_args(trace)
+    trace.add_argument(
+        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
+    )
+    trace.add_argument("--eps", type=float, default=0.0)
+    trace.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    trace.add_argument("--jsonl", default=None, help="also write a JSONL span dump")
+    trace.add_argument("--detail", action="store_true")
+    trace.set_defaults(func=_cmd_trace)
 
     tradeoff = sub.add_parser("tradeoff", help="run the epsilon sweep")
     add_circuit_args(tradeoff)

@@ -234,11 +234,14 @@ class _ApplyKernel:
                 entries, target, controls, negatives = self._matrix_spec
                 gate = build_gate_dd(manager, entries, target, controls, negatives)
                 self._matrix_gate = gate
-            manager.apply_delegated_ops += 1
+            manager._apply_delegated.inc()
             return manager.mat_vec(gate, state)
-        manager.apply_direct_ops += 1
-        weight = manager.system.mul(self.eta, state.weight)
-        return self._scaled(self._apply_node(state.node), weight)
+        manager._apply_direct.inc()
+        # Warm-path span (no-op when tracing is off), the direct-kernel
+        # counterpart of the ``dd.mat_vec`` span on the delegated path.
+        with manager.telemetry.tracer.span("dd.apply.direct"):
+            weight = manager.system.mul(self.eta, state.weight)
+            return self._scaled(self._apply_node(state.node), weight)
 
     # ------------------------------------------------------------------
     # Main recursion: levels from the root down to the target

@@ -30,7 +30,7 @@ hand::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,8 @@ from repro.dd.number_system import (
 )
 from repro.dd.unique_table import ComputeTable, UniqueTable
 from repro.errors import DDError, LevelMismatchError
+from repro.obs import Telemetry
+from repro.obs.tracing import Tracer
 
 __all__ = [
     "DDManager",
@@ -52,38 +54,160 @@ __all__ = [
 ]
 
 
+class _TracedComputeTable(ComputeTable):
+    """A :class:`ComputeTable` whose lookups emit detail spans.
+
+    Only instantiated when the manager's tracer runs in *detail* mode,
+    so the normal-mode compute tables stay the plain slotted class with
+    zero tracing overhead.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, name: str, tracer: Tracer, capacity: int = 1 << 18) -> None:
+        super().__init__(name, capacity)
+        self._tracer = tracer
+
+    def get(self, key: Any) -> Any:
+        with self._tracer.span("dd.ct.lookup", table=self.name):
+            return super().get(key)
+
+
 class DDManager:
     """Decision-diagram manager for ``num_qubits`` qubits.
 
     All edges handed out by one manager must only be combined with edges
     of the same manager (weights are interned per-manager).
+
+    ``telemetry`` is the manager's observability scope (see
+    :mod:`repro.obs`).  When omitted, a fresh metrics-only
+    :class:`~repro.obs.Telemetry` is created, so ``statistics()`` and
+    ``cache_stats()`` always report live counts; pass
+    ``Telemetry.disabled()`` for overhead-sensitive runs or
+    ``Telemetry.tracing()`` to record spans.  A telemetry scope must
+    not be shared between managers -- instrument names would collide.
     """
 
-    def __init__(self, system: NumberSystem, num_qubits: int) -> None:
+    def __init__(
+        self,
+        system: NumberSystem,
+        num_qubits: int,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if num_qubits < 1:
             raise ValueError("num_qubits must be positive")
         self.system = system
         self.num_qubits = num_qubits
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        tracer = self.telemetry.tracer
+        self._trace_detail = tracer.detail
         from itertools import count
 
         uid_source = count(1).__next__  # shared: uids unique across arities
         self._vector_table = UniqueTable(uid_source)
         self._matrix_table = UniqueTable(uid_source)
-        self._add_cache = ComputeTable("add")
-        self._mat_vec_cache = ComputeTable("mat_vec")
-        self._mat_mat_cache = ComputeTable("mat_mat")
-        self._kron_cache = ComputeTable("kron")
-        self._apply_cache = ComputeTable("apply")
+        if self._trace_detail:
+            def _ct(name: str) -> ComputeTable:
+                return _TracedComputeTable(name, tracer)
+        else:
+            _ct = ComputeTable
+        self._add_cache = _ct("add")
+        self._mat_vec_cache = _ct("mat_vec")
+        self._mat_mat_cache = _ct("mat_mat")
+        self._kron_cache = _ct("kron")
+        self._apply_cache = _ct("apply")
         self._gate_signatures: Dict[Tuple[Any, ...], int] = {}
         # Apply-kernel routing counters (see repro.dd.apply): the direct
         # kernel handles most gates itself but the numeric system with a
         # control *below* the target delegates to the matrix path to
         # stay bit-identical with the established operation order.
-        self.apply_direct_ops = 0
-        self.apply_delegated_ops = 0
+        # These are *push* instruments (warm path: once per gate); the
+        # engine tables are surfaced through the pull collector below.
+        registry = self.telemetry.metrics
+        self._apply_direct = registry.counter("dd.apply.direct")
+        self._apply_delegated = registry.counter("dd.apply.delegated")
+        registry.register_collector(self._collect_metrics)
+        if self._trace_detail:
+            self._install_detail_spans()
         # Edges are immutable in practice; sharing one zero edge avoids
         # an allocation on every zero child in the hot path.
         self._zero_edge = Edge(TERMINAL, self.system.zero)
+
+    @property
+    def apply_direct_ops(self) -> int:
+        """Gate applications served by the direct kernel (registry-backed)."""
+        return int(self._apply_direct.value)
+
+    @property
+    def apply_delegated_ops(self) -> int:
+        """Gate applications delegated to the matrix path (registry-backed)."""
+        return int(self._apply_delegated.value)
+
+    def _install_detail_spans(self) -> None:
+        """Wrap normalisation and unique-table lookups in detail spans.
+
+        Instance-level method shadowing keeps the default construction
+        path completely untouched: without detail mode there is not even
+        a branch on these call sites.
+        """
+        tracer = self.telemetry.tracer
+        normalize = self.system.normalize_keyed
+
+        def traced_normalize(
+            weights: Tuple[Any, ...],
+        ) -> Tuple[Any, Tuple[Any, ...], Tuple[Any, ...]]:
+            with tracer.span("dd.normalize", arity=len(weights)):
+                return normalize(weights)
+
+        self.system.normalize_keyed = traced_normalize  # type: ignore[method-assign]
+        for label, table in (
+            ("vector", self._vector_table),
+            ("matrix", self._matrix_table),
+        ):
+            lookup = table.get_or_create
+
+            def traced_lookup(
+                level: int,
+                edges: Tuple[Edge, ...],
+                weight_keys: Tuple[Any, ...],
+                _lookup: Callable[..., Node] = lookup,
+                _label: str = label,
+            ) -> Node:
+                with tracer.span("dd.ut.lookup", table=_label, level=level):
+                    return _lookup(level, edges, weight_keys)
+
+            table.get_or_create = traced_lookup  # type: ignore[method-assign]
+
+    def _collect_metrics(self) -> Dict[str, float]:
+        """Pull-side collector: flat dotted view of every engine table.
+
+        Sampled only at :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+        time, so the tables keep their plain integer counters with zero
+        per-operation overhead.
+        """
+        metrics: Dict[str, float] = {
+            "dd.nodes.vector": len(self._vector_table),
+            "dd.nodes.matrix": len(self._matrix_table),
+        }
+        for prefix, unique_table in (
+            ("dd.ut.vector", self._vector_table),
+            ("dd.ut.matrix", self._matrix_table),
+        ):
+            for key, value in unique_table.statistics().items():
+                metrics[f"{prefix}.{key}"] = value
+        for table in self._compute_tables():
+            stats = table.statistics()
+            for key, stat in stats.items():
+                metrics[f"dd.ct.{table.name}.{key}"] = stat
+            hits, misses = stats["hits"], stats["misses"]
+            metrics[f"dd.ct.{table.name}.hit_rate"] = (
+                hits / (hits + misses) if hits + misses else 0.0
+            )
+        for name, counters in self.system.weight_statistics().items():
+            for key, value in counters.items():
+                metrics[f"weights.{name}.{key}"] = value
+        metrics.update(self.system.metric_values())
+        return metrics
 
     # ------------------------------------------------------------------
     # Elementary edges
@@ -326,11 +450,14 @@ class DDManager:
 
     def mat_vec(self, matrix: Edge, vector: Edge) -> Edge:
         """Apply a matrix DD to a vector DD (one simulation step)."""
-        if self.is_zero_edge(matrix) or self.is_zero_edge(vector):
-            return self.zero_edge()
-        weight = self.system.mul(matrix.weight, vector.weight)
-        result = self._mat_vec_nodes(matrix.node, vector.node)
-        return self.scale(result, weight)
+        # Warm path (once per gate): a disabled tracer hands out the
+        # shared null span, so this costs two no-op calls.
+        with self.telemetry.tracer.span("dd.mat_vec"):
+            if self.is_zero_edge(matrix) or self.is_zero_edge(vector):
+                return self.zero_edge()
+            weight = self.system.mul(matrix.weight, vector.weight)
+            result = self._mat_vec_nodes(matrix.node, vector.node)
+            return self.scale(result, weight)
 
     def _mat_vec_nodes(self, matrix: Node, vector: Node) -> Edge:
         if matrix.is_terminal and vector.is_terminal:
@@ -373,11 +500,12 @@ class DDManager:
 
     def mat_mat(self, left: Edge, right: Edge) -> Edge:
         """Matrix product ``left @ right`` of two matrix DDs."""
-        if self.is_zero_edge(left) or self.is_zero_edge(right):
-            return self.zero_edge()
-        weight = self.system.mul(left.weight, right.weight)
-        result = self._mat_mat_nodes(left.node, right.node)
-        return self.scale(result, weight)
+        with self.telemetry.tracer.span("dd.mat_mat"):
+            if self.is_zero_edge(left) or self.is_zero_edge(right):
+                return self.zero_edge()
+            weight = self.system.mul(left.weight, right.weight)
+            result = self._mat_mat_nodes(left.node, right.node)
+            return self.scale(result, weight)
 
     def _mat_mat_nodes(self, left: Node, right: Node) -> Edge:
         if left.is_terminal and right.is_terminal:
@@ -423,10 +551,11 @@ class DDManager:
         reached from ``top`` is replaced by ``bottom`` and the levels of
         ``top`` are shifted up by ``bottom_levels``.
         """
-        if self.is_zero_edge(top) or self.is_zero_edge(bottom):
-            return self.zero_edge()
-        shifted = self._kron_nodes(top.node, bottom, bottom_levels)
-        return self.scale(shifted, self.system.mul(top.weight, bottom.weight))
+        with self.telemetry.tracer.span("dd.kron"):
+            if self.is_zero_edge(top) or self.is_zero_edge(bottom):
+                return self.zero_edge()
+            shifted = self._kron_nodes(top.node, bottom, bottom_levels)
+            return self.scale(shifted, self.system.mul(top.weight, bottom.weight))
 
     def _kron_nodes(self, top: Node, bottom: Edge, shift: int) -> Edge:
         if top.is_terminal:
@@ -747,41 +876,60 @@ class DDManager:
         )
 
     def statistics(self) -> Dict[str, Any]:
+        """The legacy nested statistics view, served by the obs registry.
+
+        The report is a reshape of one
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`: every engine
+        table reports the uniform ``size``/``hits``/``misses``/
+        ``inserts``/``evictions`` schema (plus table-specific extras)
+        under ``unique_tables``/``compute_tables``/``weights``, and the
+        scalar top-level keys are kept for existing consumers.
+        """
+        snap = self.telemetry.metrics.snapshot()
+        unique: Dict[str, Dict[str, Any]] = {}
+        compute: Dict[str, Dict[str, Any]] = {}
+        weights: Dict[str, Dict[str, Any]] = {}
+        for name, value in snap.items():
+            if name.startswith("dd.ut."):
+                _, _, table_name, key = name.split(".", 3)
+                unique.setdefault(table_name, {})[key] = value
+            elif name.startswith("dd.ct."):
+                _, _, table_name, key = name.split(".", 3)
+                compute.setdefault(table_name, {})[key] = value
+            elif name.startswith("weights."):
+                _, table_name, key = name.split(".", 2)
+                weights.setdefault(table_name, {})[key] = value
         return {
             "system": self.system.name,
-            "vector_nodes": len(self._vector_table),
-            "matrix_nodes": len(self._matrix_table),
-            "apply_direct_ops": self.apply_direct_ops,
-            "apply_delegated_ops": self.apply_delegated_ops,
-            "add_cache": len(self._add_cache),
-            "mat_vec_cache": len(self._mat_vec_cache),
-            "mat_mat_cache": len(self._mat_mat_cache),
-            "kron_cache": len(self._kron_cache),
-            "apply_cache": len(self._apply_cache),
-            "unique_tables": {
-                "vector": self._vector_table.statistics(),
-                "matrix": self._matrix_table.statistics(),
-            },
-            "compute_tables": {
-                table.name: table.statistics() for table in self._compute_tables()
-            },
-            "weights": self.system.weight_statistics(),
+            "vector_nodes": snap["dd.nodes.vector"],
+            "matrix_nodes": snap["dd.nodes.matrix"],
+            "apply_direct_ops": snap["dd.apply.direct"],
+            "apply_delegated_ops": snap["dd.apply.delegated"],
+            "add_cache": compute["add"]["size"],
+            "mat_vec_cache": compute["mat_vec"]["size"],
+            "mat_mat_cache": compute["mat_mat"]["size"],
+            "kron_cache": compute["kron"]["size"],
+            "apply_cache": compute["apply"]["size"],
+            "unique_tables": unique,
+            "compute_tables": compute,
+            "weights": weights,
         }
 
-    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+    def cache_stats(self) -> Dict[str, Dict[str, Any]]:
         """Flat snapshot of every compute table and weight-op memo.
 
         Each entry maps a table name to its counter dict (size, hits,
         misses, inserts, evictions); the benchmarks print this to report
-        hit rates alongside wall-clock numbers.
+        hit rates alongside wall-clock numbers.  Like
+        :meth:`statistics` this is a reshape of the obs registry
+        snapshot.
         """
-        snapshot: Dict[str, Dict[str, int]] = {
-            table.name: table.statistics() for table in self._compute_tables()
-        }
+        stats = self.statistics()
+        snapshot: Dict[str, Dict[str, Any]] = dict(stats["compute_tables"])
         snapshot.update(
             (name, counters)
-            for name, counters in self.system.weight_statistics().items()
-            if "hits" in counters  # skip the interning table's size-only entry
+            for name, counters in stats["weights"].items()
+            if "hits" in counters
         )
         return snapshot
 
@@ -801,6 +949,7 @@ def numeric_manager(
     eps: float = 0.0,
     normalization: str = "leftmost",
     precision: str = "double",
+    telemetry: Optional[Telemetry] = None,
 ) -> DDManager:
     """A manager using the state-of-the-art numerical representation.
 
@@ -811,14 +960,19 @@ def numeric_manager(
     return DDManager(
         NumericSystem(eps=eps, normalization=normalization, precision=precision),
         num_qubits,
+        telemetry=telemetry,
     )
 
 
-def algebraic_manager(num_qubits: int) -> DDManager:
+def algebraic_manager(
+    num_qubits: int, telemetry: Optional[Telemetry] = None
+) -> DDManager:
     """A manager using the paper's Q[omega] scheme (Algorithm 2)."""
-    return DDManager(AlgebraicQOmegaSystem(), num_qubits)
+    return DDManager(AlgebraicQOmegaSystem(), num_qubits, telemetry=telemetry)
 
 
-def algebraic_gcd_manager(num_qubits: int) -> DDManager:
+def algebraic_gcd_manager(
+    num_qubits: int, telemetry: Optional[Telemetry] = None
+) -> DDManager:
     """A manager using the paper's D[omega] GCD scheme (Algorithm 3)."""
-    return DDManager(AlgebraicGcdSystem(), num_qubits)
+    return DDManager(AlgebraicGcdSystem(), num_qubits, telemetry=telemetry)

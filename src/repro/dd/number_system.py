@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from math import gcd as _int_gcd
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dd.unique_table import ComputeTable
 from repro.errors import DDError, InexactDivisionError
@@ -69,28 +69,57 @@ class WeightTable:
     object id for a registered value.
     """
 
-    __slots__ = ("_by_key", "_by_identity", "_values")
+    __slots__ = (
+        "_by_key",
+        "_by_identity",
+        "_values",
+        "_width_of",
+        "hits",
+        "misses",
+        "max_bit_width",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, width_of: Optional[Callable[[Any], int]] = None) -> None:
         self._by_key: Dict[Tuple, int] = {}
         self._by_identity: Dict[int, int] = {}
         self._values: List[Any] = []
+        #: Optional bit-width probe run once per *fresh* value (the cold
+        #: insert path), feeding the ``rings.<ring>.bit_width`` gauge of
+        #: :mod:`repro.obs` without touching interned-value arithmetic.
+        self._width_of = width_of
+        self.hits = 0
+        self.misses = 0
+        self.max_bit_width = 0
 
     def __len__(self) -> int:
         return len(self._values)
 
     def intern_id(self, value: Any) -> int:
-        """The dense id of ``value``, interning it on first sight."""
+        """The dense id of ``value``, interning it on first sight.
+
+        Note on counters: the number systems bind ``_by_identity.get``
+        directly for their identity fast path, so ``hits``/``misses``
+        describe the *fallback* probes that reach this method -- i.e.
+        values seen through a fresh Python object.
+        """
         eid = self._by_identity.get(id(value))
         if eid is not None:
+            self.hits += 1
             return eid
         key = value.key()
         eid = self._by_key.get(key)
         if eid is None:
+            self.misses += 1
             eid = len(self._values)
             self._values.append(value)
             self._by_key[key] = eid
             self._by_identity[id(value)] = eid
+            if self._width_of is not None:
+                width = self._width_of(value)
+                if width > self.max_bit_width:
+                    self.max_bit_width = width
+        else:
+            self.hits += 1
         return eid
 
     def intern(self, value: Any) -> Any:
@@ -110,7 +139,18 @@ class WeightTable:
         return self._by_key.get(key)
 
     def statistics(self) -> Dict[str, int]:
-        return {"entries": len(self._values)}
+        # Uniform engine-table schema (see repro.obs): interning never
+        # evicts (canonical instances must stay live for the identity
+        # fast path), and every miss inserts, so inserts == misses.
+        return {
+            "size": len(self._values),
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.misses,
+            "evictions": 0,
+            "entries": len(self._values),
+            "max_bit_width": self.max_bit_width,
+        }
 
 
 class NumberSystem(ABC):
@@ -245,6 +285,17 @@ class NumberSystem(ABC):
 
         Maps a table name to its counter dict; the manager merges this
         into :meth:`~repro.dd.manager.DDManager.cache_stats`.
+        """
+        return {}
+
+    def metric_values(self) -> Dict[str, float]:
+        """System-specific scalar metrics under their dotted obs names.
+
+        Sampled lazily by the manager's registry collector (see
+        :mod:`repro.obs`), so producing these costs nothing per
+        operation.  Numeric systems report the eps-identification
+        counters; algebraic systems report the interned coefficient
+        bit-width high-water mark.
         """
         return {}
 
@@ -402,7 +453,14 @@ class NumericSystem(NumberSystem):
         return entry
 
     def weight_statistics(self) -> Dict[str, Dict[str, int]]:
-        return {"weight_table": {"entries": len(self.table)}}
+        return {"weight_table": self.table.statistics()}  # type: ignore[dict-item]
+
+    def metric_values(self) -> Dict[str, float]:
+        return {
+            "numeric.eps.identifications": float(self.table.identifications),
+            "numeric.eps.lookups": float(self.table.lookups),
+            "numeric.eps.inserts": float(self.table.inserts),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -423,8 +481,15 @@ class _InternedAlgebraicSystem(NumberSystem):
 
     supports_arbitrary_complex = False
 
+    #: Ring tag used in the dotted metric namespace
+    #: (``rings.<ring_name>.bit_width``).
+    ring_name: str = "ring"
+
     def __init__(self) -> None:
-        self.table = WeightTable()
+        # Probe coefficient bit-widths on the cold insert path only, so
+        # the ``rings.<ring>.bit_width`` high-water mark costs nothing
+        # on interned-value hits.
+        self.table = WeightTable(width_of=self._width_of)
         self._zero = self.table.intern(self._raw_zero())
         self._one = self.table.intern(self._raw_one())
         self._mul_memo = ComputeTable("weight_mul", 1 << 17)
@@ -642,6 +707,17 @@ class _InternedAlgebraicSystem(NumberSystem):
     def bit_width(self, value: Any) -> int:
         return value.max_bit_width()
 
+    @staticmethod
+    def _width_of(value: Any) -> int:
+        return int(value.max_bit_width())
+
+    def metric_values(self) -> Dict[str, float]:
+        prefix = f"rings.{self.ring_name}"
+        return {
+            f"{prefix}.bit_width": float(self.table.max_bit_width),
+            f"{prefix}.interned_values": float(len(self.table)),
+        }
+
     def weight_statistics(self) -> Dict[str, Dict[str, int]]:
         stats: Dict[str, Dict[str, int]] = {"weight_table": self.table.statistics()}
         for memo in (
@@ -672,6 +748,7 @@ class AlgebraicQOmegaSystem(_InternedAlgebraicSystem):
     """
 
     name = "algebraic-q"
+    ring_name = "qomega"
 
     def _raw_zero(self) -> QOmega:
         return QOmega.zero()
@@ -740,6 +817,7 @@ class AlgebraicGcdSystem(_InternedAlgebraicSystem):
     """
 
     name = "algebraic-gcd"
+    ring_name = "domega"
 
     def __init__(self) -> None:
         super().__init__()

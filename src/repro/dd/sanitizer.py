@@ -200,10 +200,14 @@ class Sanitizer:
         :class:`~repro.errors.SanitizerError`; otherwise the complete
         report is returned for inspection.
         """
-        report = self._walk(state)
-        report.merge(self._check_memo_tables())
+        tracer = self.manager.telemetry.tracer
+        with tracer.span("dd.sanitize.walk"):
+            report = self._walk(state)
+        with tracer.span("dd.sanitize.memo_replay"):
+            report.merge(self._check_memo_tables())
         if not state.is_terminal and state.node.level == self.manager.num_qubits:
-            report.merge(self._check_amplitudes(state))
+            with tracer.span("dd.sanitize.amplitudes"):
+                report.merge(self._check_amplitudes(state))
         self.total.merge(report)
         if raise_on_violation and not report.ok:
             raise report.violations[0].to_error()
@@ -211,7 +215,8 @@ class Sanitizer:
 
     def check_dd(self, edge: Edge, raise_on_violation: bool = True) -> SanitizerReport:
         """Structural-only check of any DD (vector or matrix)."""
-        report = self._walk(edge)
+        with self.manager.telemetry.tracer.span("dd.sanitize.walk"):
+            report = self._walk(edge)
         self.total.merge(report)
         if raise_on_violation and not report.ok:
             raise report.violations[0].to_error()

@@ -103,6 +103,8 @@ class ComputeTable:
         return self._table.pop(key, None)
 
     def statistics(self) -> Dict[str, int]:
+        # Uniform observability schema: every engine table reports at
+        # least size/hits/misses/inserts/evictions (see repro.obs).
         return {
             "size": len(self._table),
             "capacity": self.capacity,
@@ -132,6 +134,8 @@ class UniqueTable:
         self._next_uid = uid_source
         self.hits = 0
         self.misses = 0
+        self.evictions = 0  # clear/retain events that dropped entries
+        self.evicted_entries = 0  # cumulative entries dropped
 
     def __len__(self) -> int:
         return len(self._table)
@@ -184,6 +188,9 @@ class UniqueTable:
         Counters are cumulative and survive, mirroring
         :meth:`ComputeTable.clear`.
         """
+        if self._table:
+            self.evictions += 1
+            self.evicted_entries += len(self._table)
         self._table.clear()
 
     def retain(self, live_uids: Iterable[int]) -> int:
@@ -200,13 +207,21 @@ class UniqueTable:
         dead = [key for key, node in self._table.items() if node.uid not in live]
         for key in dead:
             del self._table[key]
+        if dead:
+            self.evictions += 1
+            self.evicted_entries += len(dead)
         return len(dead)
 
     def statistics(self) -> Dict[str, int]:
-        # Every miss interns a fresh node, so inserts == misses.
+        # Every miss interns a fresh node, so inserts == misses.  The
+        # schema mirrors ComputeTable.statistics (uniform across every
+        # engine table; see repro.obs): evictions counts clear/retain
+        # events, evicted_entries the entries they dropped.
         return {
             "size": len(self._table),
             "hits": self.hits,
             "misses": self.misses,
             "inserts": self.misses,
+            "evictions": self.evictions,
+            "evicted_entries": self.evicted_entries,
         }

@@ -7,11 +7,18 @@ tables, plus one summary row per configuration.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.evalsuite.tradeoff import TradeoffResult
 
-__all__ = ["format_table", "render_series", "render_summary", "sample_indices"]
+__all__ = [
+    "format_table",
+    "hit_rate_rows",
+    "render_metrics",
+    "render_series",
+    "render_summary",
+    "sample_indices",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -98,6 +105,55 @@ def render_series(
         "bits": "max integer bit-width per gate",
     }[metric]
     return f"{result.circuit_name}: {title}\n" + format_table(headers, rows)
+
+
+#: Table-name prefixes of the obs registry namespace that carry the
+#: uniform hits/misses schema (see docs/OBSERVABILITY.md).
+_TABLE_PREFIXES = ("dd.ct.", "dd.ut.", "weights.")
+
+
+def hit_rate_rows(snapshot: Mapping[str, object]) -> List[List[object]]:
+    """``[table, size, hits, misses, hit_rate]`` rows from a registry snapshot.
+
+    ``snapshot`` is the flat ``{dotted.name: value}`` mapping returned by
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot`; every engine
+    table (compute tables, unique tables, weight memos) reports the
+    uniform counter schema, so one grouping pass recovers a hit-rate
+    table for any manager.
+    """
+    tables: Dict[str, Dict[str, float]] = {}
+    for name, value in snapshot.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        for prefix in _TABLE_PREFIXES:
+            if name.startswith(prefix):
+                table, _, key = name[len(prefix):].partition(".")
+                tables.setdefault(prefix + table, {})[key] = float(value)
+                break
+    rows: List[List[object]] = []
+    for table in sorted(tables):
+        counters = tables[table]
+        if "hits" not in counters or "misses" not in counters:
+            continue
+        hits, misses = counters["hits"], counters["misses"]
+        probes = hits + misses
+        rows.append(
+            [
+                table,
+                int(counters.get("size", 0)),
+                int(hits),
+                int(misses),
+                round(hits / probes, 4) if probes else None,
+            ]
+        )
+    return rows
+
+
+def render_metrics(snapshot: Mapping[str, object]) -> str:
+    """The hit-rate table of one registry snapshot (``profile`` CLI)."""
+    return format_table(
+        ["table", "size", "hits", "misses", "hit_rate"], hit_rate_rows(snapshot)
+    )
 
 
 def render_summary(result: TradeoffResult) -> str:

@@ -92,6 +92,12 @@ class ComplexTable:
         # bucket of its anchor.
         self._grid = 2.0 * self.eps if self.eps > 0 else 0.0
         self._buckets: Dict[Tuple[int, int], list[ComplexEntry]] = {}
+        # Observability counters (see repro.obs): ``lookups`` is bumped
+        # once per probe -- the single hot-path increment -- while
+        # ``inserts`` is bumped on the (cold) insert path, so hits and
+        # identifications are derived, never separately counted.
+        self.lookups = 0
+        self.inserts = 0
         self.zero = self.lookup(complex(0.0, 0.0))
         self.one = self.lookup(complex(1.0, 0.0))
 
@@ -138,6 +144,7 @@ class ComplexTable:
         is returned (the incoming value is discarded -- this is the
         lossy identification step).  Otherwise a new entry is created.
         """
+        self.lookups += 1
         value = complex(value)
         if self.precision == "single":
             value = _round_to_single(value)
@@ -154,6 +161,7 @@ class ComplexTable:
         return self._insert(value)
 
     def _insert(self, value: complex) -> ComplexEntry:
+        self.inserts += 1
         entry = ComplexEntry(value, len(self._entries))
         self._entries.append(entry)
         if self.eps > 0.0:
@@ -170,10 +178,35 @@ class ComplexTable:
     def is_one(self, entry: ComplexEntry) -> bool:
         return entry is self.one
 
+    @property
+    def identifications(self) -> int:
+        """Probes answered by an existing entry (the lossy eps-snaps).
+
+        Every lookup either identifies with a stored value or inserts a
+        fresh one, so this is exact without a hot-path branch.  With
+        ``eps == 0`` an identification is a bit-exact re-probe (lossless
+        sharing); with ``eps > 0`` it is the paper's information-losing
+        identification step (Example 4/5).
+        """
+        return self.lookups - self.inserts
+
     def statistics(self) -> Dict[str, float]:
-        """Table health metrics surfaced by the evaluation harness."""
+        """Table health metrics surfaced by the evaluation harness.
+
+        Reports the uniform engine-table schema (size/hits/misses/
+        inserts/evictions, see :mod:`repro.obs`) plus the table-specific
+        extras (``eps``, ``buckets``, ``identifications``).  Entries are
+        never evicted: tolerance-transitivity relies on every anchor
+        staying live.
+        """
         return {
+            "size": float(len(self._entries)),
+            "hits": float(self.identifications),
+            "misses": float(self.inserts),
+            "inserts": float(self.inserts),
+            "evictions": 0.0,
             "entries": float(len(self._entries)),
+            "identifications": float(self.identifications),
             "eps": self.eps,
             "buckets": float(len(self._buckets)) if self.eps > 0 else float(len(self._exact)),
         }

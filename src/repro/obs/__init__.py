@@ -1,0 +1,132 @@
+r"""``repro.obs`` -- the unified observability layer of the QMDD engine.
+
+The paper's whole evaluation is told through per-gate observables (node
+count, numerical error, run-time, bit-width; Figs. 2-5).  This package
+gives those observables -- and the engine internals behind them -- one
+first-class home with three parts:
+
+* a **metrics registry** (:mod:`repro.obs.metrics`): counters, gauges
+  and fixed-bucket histograms under a dotted namespace
+  (``dd.apply.direct``, ``dd.ct.mat_vec.hits``,
+  ``numeric.eps.identifications``, ``rings.domega.bit_width``), with
+  collector callbacks so the hot tables keep their plain-integer
+  counters and pay nothing per operation;
+* **structured span tracing** (:mod:`repro.obs.tracing`): nestable
+  timed spans around gate application, normalisation, sanitizer passes
+  and (in detail mode) unique-table lookups, buffered in a ring;
+* **exporters** (:mod:`repro.obs.export`): JSONL and Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``),
+  plus the schema validator the CI smoke job runs.
+
+:class:`Telemetry` bundles one registry and one tracer; a
+:class:`~repro.dd.manager.DDManager` owns a telemetry scope and the
+:class:`~repro.sim.simulator.Simulator` inherits it (or accepts an
+explicit ``telemetry=...``).  See ``docs/OBSERVABILITY.md`` for the
+instrument catalog and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    aggregate_spans,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "aggregate_spans",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+class Telemetry:
+    """One observability scope: a metrics registry plus a tracer.
+
+    Parameters
+    ----------
+    metrics:
+        Enable push instruments (counters/gauges/histograms).  Pull
+        collectors work regardless -- they cost nothing until sampled.
+    tracing:
+        Enable span recording (gate-level granularity).
+    trace_detail:
+        Additionally record fine-grained spans (normalisation,
+        unique-table lookups).  Implies nothing unless ``tracing``.
+    trace_capacity:
+        Span ring size (most recent spans win).
+
+    The default ``Telemetry()`` is the *metrics-only* mode every
+    :class:`~repro.dd.manager.DDManager` gets when none is passed: all
+    legacy ``statistics()`` consumers keep working, spans cost one
+    no-op call per gate.  :meth:`disabled` is the near-zero-cost mode
+    for overhead-sensitive runs.
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        tracing: bool = False,
+        trace_detail: bool = False,
+        trace_capacity: int = 1 << 16,
+    ) -> None:
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.tracer = Tracer(
+            enabled=tracing, detail=trace_detail, capacity=trace_capacity
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A telemetry scope with every push path no-op'd.
+
+        Collector-backed metrics (table counters) still appear in
+        snapshots -- the underlying tables always count, exactly as the
+        engine did before this layer existed -- but push instruments
+        (apply routing, per-gate histograms, spans) are null.
+        """
+        return cls(metrics=False, tracing=False)
+
+    @classmethod
+    def tracing(
+        cls, detail: bool = False, trace_capacity: int = 1 << 16
+    ) -> "Telemetry":
+        """Metrics plus span recording (the ``profile``/``trace`` CLI mode)."""
+        return cls(
+            metrics=True,
+            tracing=True,
+            trace_detail=detail,
+            trace_capacity=trace_capacity,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.tracer.enabled

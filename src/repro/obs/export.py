@@ -1,0 +1,183 @@
+r"""Trace and metrics exporters.
+
+Two span formats are produced from a :class:`~repro.obs.tracing.Tracer`
+ring:
+
+* **JSONL** -- one JSON object per completed span (name, start,
+  seconds, depth, attrs).  Greppable, diffable, streamable.
+* **Chrome ``trace_event`` JSON** -- the *JSON Object Format* of the
+  Trace Event specification: ``{"traceEvents": [...]}`` where each span
+  becomes a complete event (``"ph": "X"``) with microsecond ``ts`` /
+  ``dur``.  The file loads directly in Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.
+
+:func:`validate_chrome_trace` is the schema check used by the test
+suite and the CI ``obs-smoke`` job: it returns a list of problems
+(empty for a valid trace) instead of raising, so callers can report
+every defect at once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "spans_to_jsonl",
+    "spans_to_chrome_trace",
+    "write_jsonl",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "aggregate_spans",
+]
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per span, separated by newlines."""
+    lines = []
+    for span in spans:
+        record = span.to_dict()
+        record["attrs"] = _json_safe(record["attrs"])
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines)
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[Span], process_name: str = "repro-qmdd"
+) -> Dict[str, Any]:
+    """The Trace Event *JSON Object Format* for a span collection.
+
+    Every span maps to one complete event (``ph == "X"``); nesting is
+    reconstructed by the viewer from ``ts``/``dur`` containment on the
+    single thread lane.  Attributes ride along in ``args``.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in sorted(spans, key=lambda s: (s.start, -s.end)):
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.seconds * 1e6, 3),
+                "pid": 0,
+                "tid": 0,
+                "args": _json_safe(span.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _json_safe(attrs: Mapping[str, Any]) -> Dict[str, Any]:
+    safe: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write the JSONL export; returns the number of spans written."""
+    listed = list(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        text = spans_to_jsonl(listed)
+        if text:
+            handle.write(text + "\n")
+    return len(listed)
+
+
+def write_chrome_trace(
+    spans: Iterable[Span], path: str, process_name: str = "repro-qmdd"
+) -> Dict[str, Any]:
+    """Write (and return) the validated Chrome ``trace_event`` document.
+
+    Raises ``ValueError`` if the produced document fails its own schema
+    check -- a trace that will not load in the viewer must never be
+    written silently.
+    """
+    document = spans_to_chrome_trace(spans, process_name=process_name)
+    problems = validate_chrome_trace(document)
+    if problems:
+        raise ValueError("invalid Chrome trace produced: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+#: Event phases the validator accepts ("X" complete events plus "M"
+#: metadata; the exporter only emits these two).
+_VALID_PHASES = frozenset({"X", "M"})
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Schema check for the Trace Event JSON Object Format.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is structurally valid for Perfetto / ``chrome://tracing``.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: 'name' must be a non-empty string")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: {field!r} must be an integer")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: {field!r} must be a non-negative number"
+                    )
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object when present")
+    return problems
+
+
+def aggregate_spans(
+    spans: Iterable[Span],
+) -> List[Tuple[str, int, float, float, float]]:
+    """Per-name aggregate ``(name, count, total_s, mean_s, max_s)``,
+    sorted by total time descending (the ``profile`` CLI table)."""
+    totals: Dict[str, List[float]] = {}
+    counts: Dict[str, int] = {}
+    peaks: Dict[str, float] = {}
+    for span in spans:
+        seconds = span.seconds
+        totals.setdefault(span.name, []).append(seconds)
+        counts[span.name] = counts.get(span.name, 0) + 1
+        if seconds > peaks.get(span.name, -1.0):
+            peaks[span.name] = seconds
+    rows = []
+    for name, values in totals.items():
+        total = sum(values)
+        rows.append((name, counts[name], total, total / counts[name], peaks[name]))
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows

@@ -1,0 +1,269 @@
+r"""Metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` owns every instrument of a telemetry scope
+(usually one :class:`~repro.dd.manager.DDManager` plus the simulator
+driving it).  Instruments live under a dotted namespace mirroring the
+engine layers::
+
+    dd.apply.direct            gate applications served by the kernel
+    dd.ct.mat_vec.hits         compute-table hits (collected)
+    numeric.eps.identifications  lossy eps-snaps in the complex table
+    rings.domega.bit_width     widest interned ring coefficient
+
+Two kinds of instruments coexist:
+
+* **Push instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) are incremented at the call site.  They are used
+  on *warm* paths (once per gate, once per pass) where an attribute
+  increment is invisible.
+* **Collectors** are callables returning a flat ``{name: value}``
+  mapping, sampled lazily at :meth:`MetricsRegistry.snapshot` time.
+  The *hot* paths (unique-table and compute-table probes, weight
+  interning) keep their plain integer counters exactly as before and a
+  collector reads them out -- zero added cost per operation.
+
+Disabled registries hand out shared null instruments whose mutators are
+no-ops (the near-zero-cost path); collectors still run at snapshot time
+because their cost is paid only by the reader.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+MetricValue = Union[int, float]
+Collector = Callable[[], Mapping[str, MetricValue]]
+
+#: Default histogram bucket layout (powers of two; "le" upper bounds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time numeric instrument (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: MetricValue = 0
+
+    def set(self, value: MetricValue) -> None:
+        self.value = value
+
+    def set_max(self, value: MetricValue) -> None:
+        """Keep the running maximum (for high-water marks)."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative "le" buckets plus +Inf).
+
+    Bucket layouts are fixed at registration so that snapshots from
+    different runs of the same instrument are always comparable.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(upper <= lower for upper, lower in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot: > buckets[-1]
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: MetricValue) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def statistics(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "buckets": {
+                **{f"le_{bound:g}": count for bound, count in zip(self.buckets, self.counts)},
+                "inf": self.counts[-1],
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def set(self, value: MetricValue) -> None:
+        return None
+
+    def set_max(self, value: MetricValue) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+
+    def observe(self, value: MetricValue) -> None:
+        return None
+
+    def statistics(self) -> Dict[str, Any]:
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "buckets": {}}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+AnyCounter = Union[Counter, _NullCounter]
+AnyGauge = Union[Gauge, _NullGauge]
+AnyHistogram = Union[Histogram, _NullHistogram]
+Instrument = Union[Counter, Gauge, Histogram, _NullCounter, _NullGauge, _NullHistogram]
+
+
+class MetricsRegistry:
+    """Namespace of instruments plus lazily sampled collectors.
+
+    Instrument factories are idempotent: asking twice for the same name
+    returns the same object (or raises if the kind differs), so
+    independent layers can share an instrument by name alone.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instrument factories -------------------------------------------
+
+    def _register(self, name: str, kind: str, factory: Callable[[], Instrument]) -> Instrument:
+        existing_kind = self._kinds.get(name)
+        if existing_kind is not None:
+            if existing_kind != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as {existing_kind}"
+                )
+            return self._instruments[name]
+        instrument = factory()
+        self._instruments[name] = instrument
+        self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str) -> AnyCounter:
+        if not self.enabled:
+            self._register(name, "counter", lambda: NULL_COUNTER)
+            return NULL_COUNTER
+        instrument = self._register(name, "counter", lambda: Counter(name))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str) -> AnyGauge:
+        if not self.enabled:
+            self._register(name, "gauge", lambda: NULL_GAUGE)
+            return NULL_GAUGE
+        instrument = self._register(name, "gauge", lambda: Gauge(name))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> AnyHistogram:
+        if not self.enabled:
+            self._register(name, "histogram", lambda: NULL_HISTOGRAM)
+            return NULL_HISTOGRAM
+        instrument = self._register(name, "histogram", lambda: Histogram(name, buckets))
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    # -- collectors ------------------------------------------------------
+
+    def register_collector(self, collector: Collector) -> None:
+        """Attach a pull-side source sampled at every :meth:`snapshot`.
+
+        The collector returns a flat ``{dotted.name: value}`` mapping;
+        it is how the hot-path tables (plain integer counters, exactly
+        as fast as before this layer existed) surface their state
+        without paying any per-operation instrumentation cost.
+        """
+        self._collectors.append(collector)
+
+    # -- reading ---------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """All registered instrument names (collectors not sampled)."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat ``{name: value}`` view of every instrument and collector.
+
+        Counter/gauge values are numbers; histograms contribute a
+        nested statistics dict under their own name.  Collector outputs
+        are merged last, so a collector may refresh a name it owns.
+        """
+        snap: Dict[str, Any] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, (Histogram, _NullHistogram)):
+                snap[name] = instrument.statistics()
+            else:
+                snap[name] = instrument.value
+        for collector in self._collectors:
+            snap.update(collector())
+        return snap
+
+    def value(self, name: str, default: Optional[Any] = None) -> Any:
+        """One name out of a fresh :meth:`snapshot` (convenience)."""
+        return self.snapshot().get(name, default)

@@ -1,0 +1,171 @@
+r"""Structured span tracing with a bounded ring buffer.
+
+A :class:`Span` is one timed region of engine work -- a gate
+application, a sanitizer pass, a normalisation -- with a name, wall
+times relative to the tracer epoch, a nesting depth and free-form
+attributes (gate name, level, node delta, ...).  Spans nest through the
+ordinary ``with`` protocol::
+
+    with tracer.span("sim.gate", gate="H(q0)") as span:
+        state = kernel.apply(state)
+        span.set(node_delta=12)
+
+Completed spans land in a ring buffer (``collections.deque`` with
+``maxlen``), so long simulations keep the most recent window instead of
+growing without bound.  Exporters (:mod:`repro.obs.export`) turn the
+buffer into JSONL or Chrome ``trace_event`` JSON.
+
+When the tracer is disabled, :meth:`Tracer.span` returns a shared
+:data:`NULL_SPAN` whose context protocol is a no-op -- the cost of a
+disabled span site is one method call, no allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type, Union
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, attributed region of work."""
+
+    __slots__ = ("tracer", "name", "attrs", "depth", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.start = 0.0
+        self.end = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration (0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or overwrite attributes (usable before ``__exit__``)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.depth = len(tracer._stack)
+        tracer._stack.append(self)
+        self.start = tracer._clock() - tracer.epoch
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        tracer = self.tracer
+        self.end = tracer._clock() - tracer.epoch
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        if len(tracer._ring) == tracer.capacity:
+            tracer.dropped += 1
+        tracer._ring.append(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, seconds={self.seconds:.6f}, attrs={self.attrs!r})"
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+    name = "null"
+    depth = 0
+    start = 0.0
+    end = 0.0
+    seconds = 0.0
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+AnySpan = Union[Span, _NullSpan]
+
+
+class Tracer:
+    """Span factory plus the bounded completion ring.
+
+    Parameters
+    ----------
+    enabled:
+        Disabled tracers hand out :data:`NULL_SPAN` (near-zero cost).
+    detail:
+        Opt-in flag read by instrumented layers for *fine-grained* spans
+        (per-normalisation, per-unique-table-lookup).  Gate-level spans
+        ignore it.
+    capacity:
+        Ring size; the most recent ``capacity`` completed spans are
+        kept.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        detail: bool = False,
+        capacity: int = 1 << 16,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be positive")
+        from collections import deque
+
+        self.enabled = enabled
+        self.detail = detail and enabled
+        self.capacity = capacity
+        self._clock = time.perf_counter
+        self.epoch = self._clock()
+        self._ring: "deque[Span]" = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self.dropped = 0  # completed spans pushed out of the ring
+
+    def span(self, name: str, **attrs: Any) -> AnySpan:
+        """A new span (enter it with ``with``); no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def spans(self) -> List[Span]:
+        """Completed spans, oldest first (a copy; safe to mutate)."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)

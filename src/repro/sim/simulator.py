@@ -29,9 +29,26 @@ from repro.dd.gatebuild import build_gate_dd
 from repro.dd.manager import DDManager
 from repro.dd.sanitizer import Sanitizer, SanitizerMode
 from repro.errors import SimulationError
+from repro.obs import Telemetry
+from repro.rings.domega import BIT_WIDTH_BUCKETS
 from repro.sim.trace import SimulationStep, SimulationTrace
 
 __all__ = ["Simulator", "SimulationResult"]
+
+#: Bucket bounds (seconds) for the per-gate duration histogram
+#: ``sim.gate.seconds``.  Log-spaced from "trivial single-qubit gate"
+#: to "pathological blow-up gate"; fixed so exports stay comparable.
+GATE_SECONDS_BUCKETS = (
+    0.0001,
+    0.0003,
+    0.001,
+    0.003,
+    0.01,
+    0.03,
+    0.1,
+    0.3,
+    1.0,
+)
 
 
 @dataclass
@@ -84,6 +101,12 @@ class Simulator:
         (full invariant check of the final state of each :meth:`run`)
         or ``"check-every-op"`` (a full check after every gate).
         Violations raise :class:`~repro.errors.SanitizerError`.
+    telemetry:
+        The :class:`~repro.obs.Telemetry` scope for the simulator-level
+        instruments (``sim.gates``, ``sim.gate.seconds``, per-gate
+        spans).  Defaults to the manager's own scope, so one profile
+        covers the whole stack; pass an explicit scope only to separate
+        driver metrics from engine metrics.
     """
 
     def __init__(
@@ -92,10 +115,19 @@ class Simulator:
         record_bit_widths: bool = False,
         use_apply_kernel: bool = True,
         sanitize: "SanitizerMode | str | bool | None" = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.manager = manager
         self.record_bit_widths = record_bit_widths
         self.use_apply_kernel = use_apply_kernel
+        self.telemetry = telemetry if telemetry is not None else manager.telemetry
+        registry = self.telemetry.metrics
+        self._gate_counter = registry.counter("sim.gates")
+        self._gate_seconds = registry.histogram("sim.gate.seconds", GATE_SECONDS_BUCKETS)
+        self._nodes_gauge = registry.gauge("sim.state.nodes")
+        self._peak_nodes_gauge = registry.gauge("sim.state.peak_nodes")
+        self._bit_width_gauge = registry.gauge("sim.state.max_bit_width")
+        self._bit_width_hist = registry.histogram("sim.state.bit_width", BIT_WIDTH_BUCKETS)
         mode = SanitizerMode.coerce(sanitize)
         self.sanitizer: Optional[Sanitizer] = (
             Sanitizer(manager, mode) if mode is not SanitizerMode.OFF else None
@@ -200,18 +232,41 @@ class Simulator:
         check_every_op = (
             sanitizer is not None and sanitizer.mode is SanitizerMode.CHECK_EVERY_OP
         )
+        tracer = self.telemetry.tracer
+        tracing = tracer.enabled  # hoisted: no span kwargs built when off
+        gate_counter = self._gate_counter
+        gate_seconds = self._gate_seconds
+        previous_nodes = 0
+        previous_elapsed = 0.0
         started = time.perf_counter()
         for index, operation in enumerate(circuit):
-            state = self._apply_operation(state, operation)
+            if tracing:
+                span = tracer.span("sim.gate", gate=str(operation.gate), index=index)
+                with span:
+                    state = self._apply_operation(state, operation)
+            else:
+                state = self._apply_operation(state, operation)
             if check_every_op:
                 sanitizer.check_state(state)
             elapsed = time.perf_counter() - started
             width = self.manager.max_bit_width(state) if self.record_bit_widths else 0
+            node_count = self.manager.node_count(state)
+            gate_counter.inc()
+            gate_seconds.observe(elapsed - previous_elapsed)
+            self._nodes_gauge.set(node_count)
+            self._peak_nodes_gauge.set_max(node_count)
+            if self.record_bit_widths:
+                self._bit_width_gauge.set_max(width)
+                self._bit_width_hist.observe(width)
+            if tracing:
+                span.set(nodes=node_count, node_delta=node_count - previous_nodes)
+            previous_nodes = node_count
+            previous_elapsed = elapsed
             trace.steps.append(
                 SimulationStep(
                     gate_index=index,
                     gate_name=str(operation.gate),
-                    node_count=self.manager.node_count(state),
+                    node_count=node_count,
                     cumulative_seconds=elapsed,
                     max_bit_width=width,
                 )
@@ -271,15 +326,19 @@ class Simulator:
             circuit_name=f"{circuit.name}[mm:{size}]",
             num_qubits=circuit.num_qubits,
         )
+        tracer = self.telemetry.tracer
         started = time.perf_counter()
         for block_index in range(0, max(len(operations), 1), size):
             block = operations[block_index : block_index + size]
             if not block:
                 break
-            accumulator = self.gate_dd(block[0])
-            for operation in block[1:]:
-                accumulator = self.manager.mat_mat(self.gate_dd(operation), accumulator)
-            state = self.manager.mat_vec(accumulator, state)
+            with tracer.span("sim.block", gates=len(block)):
+                accumulator = self.gate_dd(block[0])
+                for operation in block[1:]:
+                    accumulator = self.manager.mat_mat(
+                        self.gate_dd(operation), accumulator
+                    )
+                state = self.manager.mat_vec(accumulator, state)
             elapsed = time.perf_counter() - started
             width = self.manager.max_bit_width(state) if self.record_bit_widths else 0
             trace.steps.append(

@@ -8,8 +8,9 @@ bit-width metric explaining the algebraic GSE overhead of Section V-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 __all__ = ["SimulationStep", "SimulationTrace"]
 
@@ -70,3 +71,46 @@ class SimulationTrace:
                 )
             )
         return updated
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-data view (JSON-ready; ``error=None`` is preserved)."""
+        return {
+            "system_name": self.system_name,
+            "circuit_name": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "steps": [asdict(step) for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationTrace":
+        trace = cls(
+            system_name=data["system_name"],
+            circuit_name=data["circuit_name"],
+            num_qubits=data["num_qubits"],
+        )
+        for raw in data.get("steps", []):
+            trace.steps.append(
+                SimulationStep(
+                    gate_index=raw["gate_index"],
+                    gate_name=raw["gate_name"],
+                    node_count=raw["node_count"],
+                    cumulative_seconds=raw["cumulative_seconds"],
+                    max_bit_width=raw.get("max_bit_width", 0),
+                    error=raw.get("error"),
+                )
+            )
+        return trace
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the full trace (evaluation artifacts, CLI export)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationTrace":
+        """Inverse of :meth:`to_json`; round-trips every step exactly."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("trace JSON must be an object")
+        return cls.from_dict(data)

@@ -1,0 +1,124 @@
+"""Exporter tests: JSONL, Chrome trace JSON, validator, aggregation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    aggregate_spans,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracing import Tracer
+
+
+def _sample_tracer():
+    tracer = Tracer(enabled=True)
+    with tracer.span("sim.gate", gate="h", index=0):
+        with tracer.span("dd.apply.direct"):
+            pass
+    with tracer.span("sim.gate", gate="x", index=1, payload=object()):
+        pass
+    return tracer
+
+
+class TestJsonl:
+    def test_one_object_per_span(self):
+        tracer = _sample_tracer()
+        lines = spans_to_jsonl(tracer.spans()).splitlines()
+        assert len(lines) == 3
+        first = json.loads(lines[0])
+        assert first["name"] == "dd.apply.direct"
+        assert set(first) == {"name", "start", "seconds", "depth", "attrs"}
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(tracer.spans(), str(path)) == 3
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert len(content.splitlines()) == 3
+
+    def test_write_jsonl_empty(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl([], str(path)) == 0
+        assert path.read_text() == ""
+
+
+class TestChromeTrace:
+    def test_shape(self):
+        tracer = _sample_tracer()
+        document = spans_to_chrome_trace(tracer.spans(), process_name="test")
+        events = document["traceEvents"]
+        assert events[0] == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "test"},
+        }
+        complete = [event for event in events if event["ph"] == "X"]
+        assert len(complete) == 3
+        # Sorted by start: the outer sim.gate opens before its child.
+        assert complete[0]["name"] == "sim.gate"
+        assert complete[1]["name"] == "dd.apply.direct"
+        assert complete[0]["cat"] == "sim"
+        assert complete[1]["cat"] == "dd"
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        # Non-JSON attr values are repr()'d, never dropped.
+        assert complete[2]["args"]["payload"].startswith("<object object")
+        assert validate_chrome_trace(document) == []
+
+    def test_write_chrome_trace_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.json"
+        document = write_chrome_trace(tracer.spans(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == document
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestValidator:
+    def test_top_level_must_be_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_bad_events_reported_individually(self):
+        document = {
+            "traceEvents": [
+                {"name": "ok", "ph": "M", "pid": 0, "tid": 0},
+                {"name": "bad-phase", "ph": "B", "pid": 0, "tid": 0},
+                {"name": "", "ph": "M", "pid": 0, "tid": 0},
+                {"name": "bad-pid", "ph": "M", "pid": "zero", "tid": 0},
+                {"name": "bad-ts", "ph": "X", "pid": 0, "tid": 0, "ts": -1, "dur": 0},
+                {"name": "bad-args", "ph": "M", "pid": 0, "tid": 0, "args": [1]},
+                "not-an-object",
+            ]
+        }
+        problems = validate_chrome_trace(document)
+        assert len(problems) == 6
+        assert any("unknown phase" in problem for problem in problems)
+        assert any("'ts'" in problem for problem in problems)
+
+
+class TestAggregate:
+    def test_totals_sorted_descending(self):
+        tracer = _sample_tracer()
+        rows = aggregate_spans(tracer.spans())
+        names = [row[0] for row in rows]
+        assert set(names) == {"sim.gate", "dd.apply.direct"}
+        by_name = {row[0]: row for row in rows}
+        name, count, total, mean, peak = by_name["sim.gate"]
+        assert count == 2
+        assert total == pytest.approx(mean * 2)
+        assert peak <= total
+        totals = [row[2] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty(self):
+        assert aggregate_spans([]) == []

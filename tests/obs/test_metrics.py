@@ -1,0 +1,107 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_set_and_set_max(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set_max(2)
+        assert gauge.value == 3
+        gauge.set_max(7)
+        assert gauge.value == 7
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            histogram.observe(value)
+        stats = histogram.statistics()
+        assert stats["count"] == 4
+        assert stats["sum"] == pytest.approx(106.2)
+        assert stats["buckets"] == {"le_1": 2, "le_10": 1, "inf": 1}
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a.b")
+
+    def test_disabled_registry_hands_out_nulls(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x")
+        gauge = registry.gauge("y")
+        histogram = registry.histogram("z")
+        assert counter is NULL_COUNTER
+        assert gauge is NULL_GAUGE
+        assert histogram is NULL_HISTOGRAM
+        counter.inc()
+        gauge.set(9)
+        histogram.observe(1.0)
+        assert counter.value == 0
+        assert gauge.value == 0
+        # Names are still registered (so kind checks keep working).
+        assert registry.names() == ["x", "y", "z"]
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_flattens_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 5
+        assert snap["h"]["count"] == 1
+
+    def test_collectors_merge_last(self):
+        registry = MetricsRegistry()
+        registry.counter("push").inc()
+        registry.register_collector(lambda: {"pull.a": 10, "push": 99})
+        snap = registry.snapshot()
+        assert snap["pull.a"] == 10
+        assert snap["push"] == 99  # collector may refresh a name it owns
+
+    def test_collectors_run_even_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.register_collector(lambda: {"pull.a": 1})
+        assert registry.snapshot()["pull.a"] == 1
+
+    def test_value_convenience(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        assert registry.value("c") == 3
+        assert registry.value("missing", default=-1) == -1

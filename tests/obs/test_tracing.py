@@ -1,0 +1,98 @@
+"""Unit tests for span tracing (repro.obs.tracing)."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("work", key=1)
+        assert span is NULL_SPAN
+        with span:
+            span.set(ignored=True)
+        assert len(tracer) == 0
+        assert NULL_SPAN.attrs == {}
+
+    def test_spans_record_name_attrs_and_duration(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", gate="h") as span:
+            span.set(nodes=7)
+        (recorded,) = tracer.spans()
+        assert recorded.name == "outer"
+        assert recorded.attrs == {"gate": "h", "nodes": 7}
+        assert recorded.seconds >= 0.0
+        assert recorded.end >= recorded.start
+
+    def test_nesting_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # completion order: inner first
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+
+    def test_attrs_mutable_after_exit(self):
+        # The simulator stamps node deltas after the span closes; the
+        # ring stores the object, so late set() calls are visible.
+        tracer = Tracer(enabled=True)
+        span = tracer.span("sim.gate")
+        with span:
+            pass
+        span.set(node_delta=3)
+        assert tracer.spans()[0].attrs["node_delta"] == 3
+
+    def test_ring_capacity_and_dropped(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 3
+        assert [span.name for span in tracer.spans()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_exception_marks_span(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        assert tracer.spans()[0].attrs["error"] == "RuntimeError"
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(enabled=True, capacity=0)
+
+    def test_detail_requires_enabled(self):
+        assert Tracer(enabled=False, detail=True).detail is False
+        assert Tracer(enabled=True, detail=True).detail is True
+
+
+class TestTelemetry:
+    def test_default_is_metrics_only(self):
+        telemetry = Telemetry()
+        assert telemetry.metrics.enabled
+        assert not telemetry.tracer.enabled
+        assert telemetry.enabled
+
+    def test_disabled(self):
+        telemetry = Telemetry.disabled()
+        assert not telemetry.metrics.enabled
+        assert not telemetry.tracer.enabled
+        assert not telemetry.enabled
+
+    def test_tracing_factory(self):
+        telemetry = Telemetry.tracing(detail=True, trace_capacity=8)
+        assert telemetry.metrics.enabled
+        assert telemetry.tracer.enabled
+        assert telemetry.tracer.detail
+        assert telemetry.tracer.capacity == 8

@@ -1,0 +1,83 @@
+"""JSON round-trip of SimulationTrace (satellite of the obs layer)."""
+
+import json
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.dd.manager import algebraic_manager
+from repro.sim.simulator import Simulator
+from repro.sim.trace import SimulationStep, SimulationTrace
+
+
+def _sample_trace():
+    trace = SimulationTrace("algebraic", "toy", 2)
+    trace.steps.append(
+        SimulationStep(
+            gate_index=0,
+            gate_name="h",
+            node_count=3,
+            cumulative_seconds=0.25,
+            max_bit_width=4,
+            error=None,
+        )
+    )
+    trace.steps.append(
+        SimulationStep(
+            gate_index=1,
+            gate_name="cx",
+            node_count=5,
+            cumulative_seconds=0.5,
+            error=1.5e-9,
+        )
+    )
+    return trace
+
+
+class TestRoundTrip:
+    def test_round_trips_every_field(self):
+        trace = _sample_trace()
+        restored = SimulationTrace.from_json(trace.to_json())
+        assert restored.system_name == trace.system_name
+        assert restored.circuit_name == trace.circuit_name
+        assert restored.num_qubits == trace.num_qubits
+        assert restored.steps == trace.steps
+
+    def test_error_none_is_preserved_not_dropped(self):
+        trace = _sample_trace()
+        data = json.loads(trace.to_json())
+        assert data["steps"][0]["error"] is None  # explicit null, not absent
+        restored = SimulationTrace.from_json(trace.to_json())
+        assert restored.steps[0].error is None
+        assert restored.steps[1].error == pytest.approx(1.5e-9)
+
+    def test_missing_optional_step_fields_default(self):
+        data = _sample_trace().to_dict()
+        for raw in data["steps"]:
+            raw.pop("max_bit_width")
+            raw.pop("error")
+        restored = SimulationTrace.from_dict(data)
+        assert restored.steps[0].max_bit_width == 0
+        assert restored.steps[0].error is None
+
+    def test_empty_trace(self):
+        trace = SimulationTrace("numeric", "empty", 1)
+        restored = SimulationTrace.from_json(trace.to_json())
+        assert restored.steps == []
+        assert restored.total_seconds == 0.0
+
+    def test_rejects_non_object_json(self):
+        with pytest.raises(ValueError):
+            SimulationTrace.from_json("[1, 2, 3]")
+
+    def test_simulator_trace_round_trips(self):
+        manager = algebraic_manager(3)
+        result = Simulator(manager).run(grover_circuit(3, 2))
+        restored = SimulationTrace.from_json(result.trace.to_json())
+        assert restored.steps == result.trace.steps
+        assert restored.peak_node_count == result.trace.peak_node_count
+
+    def test_json_is_deterministic(self):
+        trace = _sample_trace()
+        assert trace.to_json() == trace.to_json()
+        assert trace.to_json(indent=2).count("\n") > 0

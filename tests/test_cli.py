@@ -60,6 +60,69 @@ class TestAblation:
         assert "Alg.3" not in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_profile_grover(self, capsys):
+        code = main(["profile", "--algorithm", "grover", "--qubits", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top spans by total time" in output
+        assert "sim.gate" in output
+        assert "dd.apply.direct" in output
+        assert "engine table hit rates:" in output
+        assert "dd.ct.apply" in output
+
+    def test_profile_detail_spans(self, capsys):
+        code = main(
+            ["profile", "--algorithm", "grover", "--qubits", "3", "--detail"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dd.ut.lookup" in output
+
+    def test_profile_numeric(self, capsys):
+        code = main(
+            ["profile", "--algorithm", "grover", "--qubits", "3",
+             "--system", "numeric", "--eps", "1e-10"]
+        )
+        assert code == 0
+        assert "numeric(eps=1e-10)" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--algorithm", "grover", "--qubits", "3",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "perfetto" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "process_name" in names
+        assert "sim.gate" in names
+
+    def test_trace_jsonl_sidecar(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "spans.jsonl"
+        code = main(
+            ["trace", "--algorithm", "grover", "--qubits", "3",
+             "--out", str(out), "--jsonl", str(jsonl)]
+        )
+        assert code == 0
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert {"name", "start", "seconds", "depth", "attrs"} == set(record)
+
+
 class TestParsing:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

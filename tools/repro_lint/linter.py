@@ -38,6 +38,13 @@ codebase has to protect canonicity:
     Small structurally-bounded tables (e.g. one entry per level) may be
     pragma-annotated.
 
+``RL006`` -- **engine layers report through ``repro.obs``, not ad hoc.**
+    ``print(...)`` inside ``repro/dd``/``repro/numeric`` bypasses every
+    consumer surface (CLI tables, exporters, CI assertions), and a
+    ``self._op_counters = {}``-style dict is an unnamed metrics registry
+    nobody can snapshot.  Count through a registry instrument or expose
+    plain integer attributes read by a collector.
+
 Suppression: append ``# repro-lint: allow[RL00X]`` (comma-separated
 codes allowed) to the offending line.
 
@@ -348,12 +355,71 @@ def _rl005_check(tree: ast.AST, path: str) -> Iterator[Finding]:
                 )
 
 
+# ---------------------------------------------------------------------------
+# RL006: engine observability goes through the repro.obs layer
+# ---------------------------------------------------------------------------
+
+_COUNTER_DICT_TAGS = ("counter", "stat", "metric")
+
+
+def _rl006_applies(path: str) -> bool:
+    return _in_dd(path) or "repro/numeric/" in _posix(path)
+
+
+def _rl006_check(tree: ast.AST, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield Finding(
+                    "RL006",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "print() inside the engine core; report through the "
+                    "repro.obs metrics registry / tracer and render at a "
+                    "consumer layer (CLI, benchmarks)",
+                )
+            continue
+        value = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        if not _is_empty_dict(value):
+            continue
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            lowered = target.attr.lower()
+            if any(tag in lowered for tag in _COUNTER_DICT_TAGS):
+                yield Finding(
+                    "RL006",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"self.{target.attr} is an ad-hoc counter dict; register "
+                    "instruments on the repro.obs MetricsRegistry (or keep "
+                    "plain integer attributes read by a collector)",
+                )
+
+
 RULES: Tuple[Rule, ...] = (
     Rule("RL001", "Node() outside the unique table", _rl001_applies, _rl001_check),
     Rule("RL002", "float/math leakage into exact rings", _in_rings, _rl002_check),
     Rule("RL003", "naive float/complex equality", _in_repro, _rl003_check),
     Rule("RL004", "mutation of interned weights", _rl004_applies, _rl004_check),
     Rule("RL005", "unbounded dict memo in repro/dd", _in_dd, _rl005_check),
+    Rule(
+        "RL006",
+        "ad-hoc observability in the engine core",
+        _rl006_applies,
+        _rl006_check,
+    ),
 )
 
 

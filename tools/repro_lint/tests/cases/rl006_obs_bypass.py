@@ -1,0 +1,19 @@
+# lint-path: src/repro/dd/noisy_kernel.py
+"""RL006: engine layers report through repro.obs, not print/ad-hoc dicts."""
+
+from typing import Dict
+
+
+class NoisyKernel:
+    def __init__(self):
+        self._op_counters = {}  # lint-expect: RL006
+        self.statistics_by_gate: Dict[str, int] = dict()  # lint-expect: RL006
+        self._metric_totals = {}  # repro-lint: allow[RL006] (migration shim)
+        self.hits = 0  # plain integer counter read by a collector: fine
+
+    def apply(self, gate):
+        print("applying", gate)  # lint-expect: RL006
+        self.hits += 1
+
+    def debug(self, message):
+        print(f"debug: {message}")  # lint-expect: RL006
