@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean lint typecheck sanitize-smoke
+.PHONY: install test bench figures examples clean lint typecheck sanitize-smoke gc-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Project-specific static analysis (RL001-RL005; see tools/repro_lint).
+# Project-specific static analysis (RL001-RL007; see tools/repro_lint).
 lint:
 	$(PYTHON) -m tools.repro_lint src/repro
 
@@ -29,6 +29,17 @@ sanitize-smoke:
 	    --qubits 5 --system algebraic-gcd --mode check-every-op
 	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize --algorithm grover \
 	    --qubits 5 --system numeric --eps 1e-12 --mode check-every-op
+
+# End-to-end garbage-collection run under a tight node budget, with
+# the sanitizer's refcount audit on the final state.  Exits non-zero on
+# a MemoryBudgetExceeded or any refcount/invariant violation.
+gc-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli gc --algorithm grover \
+	    --qubits 8 --system algebraic-gcd --threshold 256 \
+	    --max-nodes 800 --audit
+	PYTHONPATH=src $(PYTHON) -m repro.cli gc --algorithm grover \
+	    --qubits 8 --system numeric --eps 1e-12 --threshold 512 \
+	    --max-nodes 1200 --audit
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

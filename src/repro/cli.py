@@ -19,6 +19,13 @@ Subcommands mirror the evaluation workflow:
     Simulate under the DD sanitizer and report the invariant-check
     coverage (nodes / edges / memo entries / amplitudes verified).
 
+``repro-qmdd gc --algorithm grover --qubits 8 --threshold 256 --audit``
+    Simulate with the mark-and-sweep garbage collector enabled, print
+    the collection statistics, and (with ``--audit``) cross-check the
+    incremental refcounts against a structural recount.  ``--max-nodes``
+    / ``--max-bytes`` turn the run into a budget check that exits 2 on
+    :class:`~repro.errors.MemoryBudgetExceeded`.
+
 ``repro-qmdd profile --algorithm grover --qubits 6``
     Run one benchmark with tracing on and print the top spans by total
     time plus the engine-table hit-rate table (see
@@ -122,6 +129,50 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     print(sanitizer.total.summary())
     print(f"final DD size: {result.node_count} nodes")
     print(f"run-time: {result.trace.total_seconds:.3f} s")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from repro.dd.mem import MemoryBudget, MemoryConfig
+    from repro.errors import MemoryBudgetExceeded, SanitizerError
+
+    circuit = _build_circuit(args)
+    manager = _build_manager(args.system, args.eps, circuit.num_qubits)
+    budget = None
+    if args.max_nodes is not None or args.max_bytes is not None:
+        budget = MemoryBudget(max_nodes=args.max_nodes, max_bytes=args.max_bytes)
+    config = MemoryConfig(
+        threshold=args.threshold,
+        min_yield=args.min_yield,
+        budget=budget,
+    )
+    sanitize = "check-on-root" if args.audit else None
+    simulator = Simulator(manager, sanitize=sanitize, gc=config)
+    print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
+    print(f"system:  {manager.system.name}   threshold: {config.threshold}")
+    if budget is not None:
+        print(f"budget:  max_nodes={budget.max_nodes} max_bytes={budget.max_bytes}")
+    try:
+        result = simulator.run(circuit)
+    except MemoryBudgetExceeded as error:
+        print(f"FAIL {error}")
+        return 2
+    except SanitizerError as error:
+        print(f"FAIL {error}")
+        return 1
+    stats = manager.memory.statistics()
+    print(f"final DD size: {result.node_count} nodes")
+    print(f"run-time: {result.trace.total_seconds:.3f} s")
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in sorted(stats.items())],
+        )
+    )
+    if args.audit:
+        sanitizer = simulator.sanitizer
+        assert sanitizer is not None
+        print(sanitizer.total.summary())
     return 0
 
 
@@ -327,6 +378,32 @@ def main(argv: Optional[list] = None) -> int:
         default="check-on-root",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    gc = sub.add_parser(
+        "gc", help="simulate with the garbage collector on and report GC stats"
+    )
+    add_circuit_args(gc)
+    gc.add_argument(
+        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
+    )
+    gc.add_argument("--eps", type=float, default=0.0)
+    gc.add_argument(
+        "--threshold", type=int, default=1000, help="resident-node count that triggers a collection"
+    )
+    gc.add_argument(
+        "--min-yield",
+        type=float,
+        default=0.25,
+        help="minimum freed fraction before the threshold grows",
+    )
+    gc.add_argument("--max-nodes", type=int, default=None, help="hard node budget (fails the run)")
+    gc.add_argument("--max-bytes", type=int, default=None, help="hard byte budget (fails the run)")
+    gc.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the sanitizer (incl. the refcount audit) on the final state",
+    )
+    gc.set_defaults(func=_cmd_gc)
 
     profile = sub.add_parser(
         "profile", help="top spans + engine hit rates for one benchmark"

@@ -15,7 +15,11 @@ Public surface:
   bit-width measurements and :func:`~repro.dd.dot.to_dot` for rendering;
 * :class:`~repro.dd.sanitizer.Sanitizer` /
   :func:`~repro.dd.sanitizer.sanitize_dd` for runtime verification of
-  the canonical-form invariants.
+  the canonical-form invariants;
+* :class:`~repro.dd.mem.MemoryManager` (every manager owns one as
+  ``manager.memory``) with :class:`~repro.dd.mem.MemoryConfig` /
+  :class:`~repro.dd.mem.MemoryBudget` for refcounted roots,
+  mark-and-sweep garbage collection and hard memory budgets.
 """
 
 from repro.dd.apply import apply_gate, prepare_gate
@@ -27,6 +31,7 @@ from repro.dd.manager import (
     algebraic_manager,
     numeric_manager,
 )
+from repro.dd.mem import GcStats, MemoryBudget, MemoryConfig, MemoryManager
 from repro.dd.metrics import DDMetrics, collect_metrics, count_trivial_weights
 from repro.dd.dot import to_dot
 from repro.dd.serialize import dump, dumps, load, loads
@@ -50,6 +55,10 @@ __all__ = [
     "DDManager",
     "DDMetrics",
     "Edge",
+    "GcStats",
+    "MemoryBudget",
+    "MemoryConfig",
+    "MemoryManager",
     "Node",
     "NumberSystem",
     "NumericSystem",

@@ -233,6 +233,11 @@ class _ApplyKernel:
             if gate is None:
                 entries, target, controls, negatives = self._matrix_spec
                 gate = build_gate_dd(manager, entries, target, controls, negatives)
+                # The kernel caches this gate DD across gate
+                # applications; pin it so a GC pass between two uses
+                # cannot sweep its nodes out of the unique table (the
+                # cached edge would then resurrect as shadow nodes).
+                manager.memory.pin(gate)
                 self._matrix_gate = gate
             manager._apply_delegated.inc()
             return manager.mat_vec(gate, state)

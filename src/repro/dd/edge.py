@@ -29,10 +29,26 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Tuple
 
-__all__ = ["Edge", "Node", "TERMINAL", "VECTOR_ARITY", "MATRIX_ARITY"]
+__all__ = [
+    "Edge",
+    "Node",
+    "REF_SATURATION",
+    "TERMINAL",
+    "VECTOR_ARITY",
+    "MATRIX_ARITY",
+]
 
 VECTOR_ARITY = 2
 MATRIX_ARITY = 4
+
+#: Reference counts saturate at this value and are never decremented
+#: past it again: a node shared this widely (the terminal, and the
+#: terminal-adjacent "unit" nodes of deep circuits) is effectively
+#: immortal, and pinning it is cheaper and safer than tracking exact
+#: in-degrees that would overflow a small counter.  Saturated nodes can
+#: still be reclaimed by the mark-and-sweep collector, which derives
+#: liveness from root reachability rather than from the counts.
+REF_SATURATION = 0xFFFF
 
 
 class Node:
@@ -47,14 +63,20 @@ class Node:
         ``1..n`` for inner nodes; the terminal has level ``0``.
     edges:
         Outgoing :class:`Edge` tuple of length 2 (vector) or 4 (matrix).
+    ref:
+        Structural in-degree maintained by the unique table (one count
+        per parent edge slot) plus one count per externally registered
+        root (see :class:`repro.dd.mem.MemoryManager`).  Saturates at
+        :data:`REF_SATURATION`.
     """
 
-    __slots__ = ("uid", "level", "edges")
+    __slots__ = ("uid", "level", "edges", "ref")
 
     def __init__(self, uid: int, level: int, edges: Tuple["Edge", ...]) -> None:
         self.uid = uid
         self.level = level
         self.edges = edges
+        self.ref = 0
 
     @property
     def is_terminal(self) -> bool:
@@ -71,8 +93,10 @@ class Node:
 
 
 #: The unique terminal node (represents the scalar 1; weights on the
-#: incoming edges supply the actual values).
+#: incoming edges supply the actual values).  Its refcount is born
+#: saturated: the terminal is shared by every DD and never reclaimed.
 TERMINAL = Node(uid=0, level=0, edges=())
+TERMINAL.ref = REF_SATURATION
 
 
 class Edge:

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dd.edge import MATRIX_ARITY, TERMINAL, VECTOR_ARITY, Edge, Node, iter_nodes
+from repro.dd.mem import GcStats, MemoryBudget, MemoryConfig, MemoryManager
 from repro.dd.number_system import (
     AlgebraicGcdSystem,
     AlgebraicQOmegaSystem,
@@ -86,6 +87,16 @@ class DDManager:
     ``Telemetry.disabled()`` for overhead-sensitive runs or
     ``Telemetry.tracing()`` to record spans.  A telemetry scope must
     not be shared between managers -- instrument names would collide.
+
+    ``memory`` configures the garbage collector (see
+    :mod:`repro.dd.mem`): ``None`` keeps automatic collection off (the
+    seed behaviour), ``True`` enables the default policy, an ``int``
+    sets the node threshold, and a
+    :class:`~repro.dd.mem.MemoryBudget` /
+    :class:`~repro.dd.mem.MemoryConfig` gives full control.  The
+    :class:`~repro.dd.mem.MemoryManager` is always created (as
+    ``manager.memory``) so explicit ``collect``/``prune`` and the
+    refcount audit work regardless.
     """
 
     def __init__(
@@ -93,6 +104,7 @@ class DDManager:
         system: NumberSystem,
         num_qubits: int,
         telemetry: Optional[Telemetry] = None,
+        memory: "MemoryConfig | MemoryBudget | bool | int | None" = None,
     ) -> None:
         if num_qubits < 1:
             raise ValueError("num_qubits must be positive")
@@ -132,6 +144,9 @@ class DDManager:
         # Edges are immutable in practice; sharing one zero edge avoids
         # an allocation on every zero child in the hot path.
         self._zero_edge = Edge(TERMINAL, self.system.zero)
+        # Last: the memory manager registers its own collector and
+        # installs the unique tables' invalidation hooks.
+        self.memory = MemoryManager(self, memory)
 
     @property
     def apply_direct_ops(self) -> int:
@@ -403,15 +418,27 @@ class DDManager:
             if self.system.is_zero(total):
                 return self.zero_edge()
             return Edge(left.node, total)
-        # Canonicalise the argument order (addition is commutative);
-        # weight keys only break ties between equal nodes.
+        # Canonicalise the argument order (addition is commutative).
+        # Inexact systems order by weight *value* first: the order
+        # decides the ratio-factoring division direction below, and a
+        # uid-based order would make the last float bits depend on node
+        # creation history (i.e. on whether the GC re-interned a node).
+        # Exact systems keep the cheap uid comparison; weight keys only
+        # break ties between equal nodes.
         left_uid = left.node.uid
         right_uid = right.node.uid
-        if right_uid < left_uid or (
+        left_order = self.system.weight_order_key(left.weight)
+        if left_order is not None:
+            right_order = self.system.weight_order_key(right.weight)
+            if (right_order, right_uid) < (left_order, left_uid):
+                left, right = right, left
+                left_uid, right_uid = right_uid, left_uid
+        elif right_uid < left_uid or (
             right_uid == left_uid
             and self.system.key(right.weight) < self.system.key(left.weight)
         ):
             left, right = right, left
+            left_uid, right_uid = right_uid, left_uid
         # Factor out the left weight when the system supports division,
         # so cache entries are shared across common scalings.
         ratio = self.system.division_helper(right.weight, left.weight)
@@ -845,24 +872,21 @@ class DDManager:
 
         Long simulations intern every intermediate state; pruning
         between phases keeps the unique tables proportional to the live
-        DDs.  All compute caches are dropped (they may reference dead
-        nodes).  Returns ``{"vector_dropped": ..., "matrix_dropped":
-        ...}``.
+        DDs.  Routed through :meth:`repro.dd.mem.MemoryManager.collect`,
+        so registered roots and pins survive alongside ``roots`` and
+        every compute table, weight memo and weight table is swept or
+        invalidated in the correct order.  Returns
+        ``{"vector_dropped": ..., "matrix_dropped": ...}``.
         """
-        live = set()
-        stack = [root.node for root in roots]
-        while stack:
-            node = stack.pop()
-            if node.is_terminal or node.uid in live:
-                continue
-            live.add(node.uid)
-            for child in node.edges:
-                stack.append(child.node)
-        self.clear_caches()
+        stats = self.memory.collect(extra_roots=roots, trigger="prune")
         return {
-            "vector_dropped": self._vector_table.retain(live),
-            "matrix_dropped": self._matrix_table.retain(live),
+            "vector_dropped": stats.swept_vector,
+            "matrix_dropped": stats.swept_matrix,
         }
+
+    def collect_garbage(self, roots: Sequence[Edge] = ()) -> "GcStats":
+        """Explicit full GC pass (see :meth:`repro.dd.mem.MemoryManager.collect`)."""
+        return self.memory.collect(extra_roots=roots, trigger="explicit")
 
     def sanitize(
         self, edge: Edge, *, raise_on_violation: bool = True, **options: Any
@@ -913,6 +937,7 @@ class DDManager:
             "unique_tables": unique,
             "compute_tables": compute,
             "weights": weights,
+            "gc": self.memory.statistics(),
         }
 
     def cache_stats(self) -> Dict[str, Dict[str, Any]]:
@@ -950,6 +975,7 @@ def numeric_manager(
     normalization: str = "leftmost",
     precision: str = "double",
     telemetry: Optional[Telemetry] = None,
+    memory: "MemoryConfig | MemoryBudget | bool | int | None" = None,
 ) -> DDManager:
     """A manager using the state-of-the-art numerical representation.
 
@@ -961,18 +987,27 @@ def numeric_manager(
         NumericSystem(eps=eps, normalization=normalization, precision=precision),
         num_qubits,
         telemetry=telemetry,
+        memory=memory,
     )
 
 
 def algebraic_manager(
-    num_qubits: int, telemetry: Optional[Telemetry] = None
+    num_qubits: int,
+    telemetry: Optional[Telemetry] = None,
+    memory: "MemoryConfig | MemoryBudget | bool | int | None" = None,
 ) -> DDManager:
     """A manager using the paper's Q[omega] scheme (Algorithm 2)."""
-    return DDManager(AlgebraicQOmegaSystem(), num_qubits, telemetry=telemetry)
+    return DDManager(
+        AlgebraicQOmegaSystem(), num_qubits, telemetry=telemetry, memory=memory
+    )
 
 
 def algebraic_gcd_manager(
-    num_qubits: int, telemetry: Optional[Telemetry] = None
+    num_qubits: int,
+    telemetry: Optional[Telemetry] = None,
+    memory: "MemoryConfig | MemoryBudget | bool | int | None" = None,
 ) -> DDManager:
     """A manager using the paper's D[omega] GCD scheme (Algorithm 3)."""
-    return DDManager(AlgebraicGcdSystem(), num_qubits, telemetry=telemetry)
+    return DDManager(
+        AlgebraicGcdSystem(), num_qubits, telemetry=telemetry, memory=memory
+    )

@@ -66,7 +66,11 @@ class WeightTable:
 
     Canonical instances are kept alive in ``_values``, so the
     identity-keyed fast path (``id(value)``) can never observe a recycled
-    object id for a registered value.
+    object id for a registered value.  The garbage collector may
+    :meth:`sweep` unreferenced entries: swept slots are *tombstoned*
+    (set to ``None``), never reused -- ids stay append-only monotonic,
+    because unique- and compute-table keys embed them and a recycled id
+    could alias two different weights.
     """
 
     __slots__ = (
@@ -76,22 +80,25 @@ class WeightTable:
         "_width_of",
         "hits",
         "misses",
+        "swept",
         "max_bit_width",
     )
 
     def __init__(self, width_of: Optional[Callable[[Any], int]] = None) -> None:
         self._by_key: Dict[Tuple, int] = {}
         self._by_identity: Dict[int, int] = {}
-        self._values: List[Any] = []
+        self._values: List[Optional[Any]] = []
         #: Optional bit-width probe run once per *fresh* value (the cold
         #: insert path), feeding the ``rings.<ring>.bit_width`` gauge of
         #: :mod:`repro.obs` without touching interned-value arithmetic.
         self._width_of = width_of
         self.hits = 0
         self.misses = 0
+        self.swept = 0
         self.max_bit_width = 0
 
     def __len__(self) -> int:
+        """The id space size (tombstones included; ids never shrink)."""
         return len(self._values)
 
     def intern_id(self, value: Any) -> int:
@@ -127,7 +134,35 @@ class WeightTable:
         return self._values[self.intern_id(value)]
 
     def value(self, eid: int) -> Any:
-        return self._values[eid]
+        value = self._values[eid]
+        if value is None:
+            raise DDError(
+                f"weight id {eid} was swept by the garbage collector "
+                "(stale id escaped a memo invalidation)"
+            )
+        return value
+
+    def sweep(self, live_ids: "set[int]") -> int:
+        """Tombstone every interned value whose id is not in ``live_ids``.
+
+        Swept slots are set to ``None`` and removed from both lookup
+        indexes; the id is never reused (see the class docstring).  A
+        previously swept *value* re-interns later under a fresh id.
+        Returns the number of entries swept.
+        """
+        swept = 0
+        values = self._values
+        by_key = self._by_key
+        by_identity = self._by_identity
+        for eid, value in enumerate(values):
+            if value is None or eid in live_ids:
+                continue
+            by_key.pop(value.key(), None)
+            by_identity.pop(id(value), None)
+            values[eid] = None
+            swept += 1
+        self.swept += swept
+        return swept
 
     def lookup_key(self, key: Tuple) -> Optional[int]:
         """The id registered for a canonical ring key, or ``None``.
@@ -139,16 +174,19 @@ class WeightTable:
         return self._by_key.get(key)
 
     def statistics(self) -> Dict[str, int]:
-        # Uniform engine-table schema (see repro.obs): interning never
-        # evicts (canonical instances must stay live for the identity
-        # fast path), and every miss inserts, so inserts == misses.
+        # Uniform engine-table schema (see repro.obs): every miss
+        # inserts, so inserts == misses; the garbage collector's sweeps
+        # are the only form of eviction (live canonical instances still
+        # never leave -- the identity fast path depends on that).
+        live = len(self._values) - self.swept
         return {
-            "size": len(self._values),
+            "size": live,
             "hits": self.hits,
             "misses": self.misses,
             "inserts": self.misses,
-            "evictions": 0,
-            "entries": len(self._values),
+            "evictions": self.swept,
+            "swept": self.swept,
+            "entries": live,
             "max_bit_width": self.max_bit_width,
         }
 
@@ -280,6 +318,22 @@ class NumberSystem(ABC):
         """
         return None
 
+    def weight_order_key(self, value: Any) -> Optional[Any]:
+        """A *value-based* total-order key for weights, or ``None``.
+
+        When this returns a key, the addition compute-table orders its
+        operands by ``(weight_order_key, node uid)`` instead of by node
+        uid alone.  The distinction only matters for inexact systems:
+        the operand order decides which weight the ratio factoring
+        divides by, and float division is not direction-symmetric, so a
+        uid-based order makes the last bits of numeric results depend
+        on node *creation history* -- in particular, on whether the
+        garbage collector has re-interned a node under a fresh uid.
+        Exact systems return ``None`` (division direction cannot change
+        an exact result) and keep the cheaper uid comparison.
+        """
+        return None
+
     def weight_statistics(self) -> Dict[str, Dict[str, int]]:
         """Per-system interning/memo counters (empty if not applicable).
 
@@ -287,6 +341,28 @@ class NumberSystem(ABC):
         into :meth:`~repro.dd.manager.DDManager.cache_stats`.
         """
         return {}
+
+    # -- garbage-collection hooks -------------------------------------------------
+
+    def invalidate_memos(self) -> int:
+        """Drop memoised weight-arithmetic results (GC invalidation hook).
+
+        Called whenever interned nodes or weights may have been swept:
+        memo entries embed weight ids/instances, so they must not
+        outlive a sweep.  Returns the number of entries dropped.
+        """
+        return 0
+
+    def sweep_weights(self, live_keys: "set[Any]") -> int:
+        """Garbage-collect interned weights not in ``live_keys``.
+
+        ``live_keys`` holds the canonical weight keys (as produced by
+        :meth:`key`) that must survive -- every weight referenced by a
+        resident node, root edge or gate signature.  Systems whose
+        interning table cannot be swept safely return 0.  Callers must
+        invalidate memos in the same pass.
+        """
+        return 0
 
     def metric_values(self) -> Dict[str, float]:
         """System-specific scalar metrics under their dotted obs names.
@@ -426,6 +502,13 @@ class NumericSystem(NumberSystem):
             return None
         return self.table.lookup(numerator.value / denominator.value)
 
+    def weight_order_key(self, value: ComplexEntry) -> Tuple[float, float]:
+        # Value-based operand order keeps the add-cache's ratio
+        # direction (and with it the last float bits of every result)
+        # independent of node uids, which change when the garbage
+        # collector re-interns swept structure.
+        return (value.value.real, value.value.imag)
+
     # -- sanitizer hooks ---------------------------------------------------------
 
     def check_canonical(self, value: ComplexEntry) -> Optional[str]:
@@ -461,6 +544,15 @@ class NumericSystem(NumberSystem):
             "numeric.eps.lookups": float(self.table.lookups),
             "numeric.eps.inserts": float(self.table.inserts),
         }
+
+    # -- garbage-collection hooks -------------------------------------------------
+
+    def sweep_weights(self, live_keys: "set[Any]") -> int:
+        # Exact mode (eps == 0) sweeps safely: re-interning a swept
+        # value is bit-identical.  The tolerance table refuses (returns
+        # 0): its entries are identification anchors (see
+        # ComplexTable.sweep_entries).
+        return self.table.sweep_entries(live_keys)
 
 
 # ---------------------------------------------------------------------------
@@ -720,15 +812,35 @@ class _InternedAlgebraicSystem(NumberSystem):
 
     def weight_statistics(self) -> Dict[str, Dict[str, int]]:
         stats: Dict[str, Dict[str, int]] = {"weight_table": self.table.statistics()}
-        for memo in (
+        for memo in self._weight_memos():
+            stats[memo.name] = memo.statistics()
+        return stats
+
+    # -- garbage-collection hooks ---------------------------------------
+
+    def _weight_memos(self) -> Tuple[ComputeTable, ...]:
+        return (
             self._mul_memo,
             self._add_memo,
             self._conj_memo,
             self._norm_memo,
             self._div_memo,
-        ):
-            stats[memo.name] = memo.statistics()
-        return stats
+        )
+
+    def invalidate_memos(self) -> int:
+        # Memo keys and values embed interned ids/instances; after any
+        # sweep they could resolve to tombstones, so the whole
+        # generation goes.
+        dropped = 0
+        for memo in self._weight_memos():
+            dropped += memo.invalidate()
+        return dropped
+
+    def sweep_weights(self, live_keys: "set[Any]") -> int:
+        live = {key for key in live_keys if isinstance(key, int)}
+        live.add(self._zero_id)
+        live.add(self._one_id)
+        return self.table.sweep(live)
 
 
 # ---------------------------------------------------------------------------
@@ -926,6 +1038,11 @@ class AlgebraicGcdSystem(_InternedAlgebraicSystem):
         stats = super().weight_statistics()
         stats[self._assoc_memo.name] = self._assoc_memo.statistics()
         return stats
+
+    def _weight_memos(self) -> Tuple[ComputeTable, ...]:
+        # The associate memo caches interned unit instances, which a
+        # weight sweep may tombstone -- invalidate it alongside.
+        return super()._weight_memos() + (self._assoc_memo,)
 
     def division_helper(self, numerator: DOmega, denominator: DOmega) -> Optional[DOmega]:
         if denominator.is_zero():

@@ -123,6 +123,7 @@ class SanitizerReport:
     edges_checked: int = 0
     memo_entries_checked: int = 0
     amplitudes_checked: int = 0
+    refcounts_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -134,6 +135,7 @@ class SanitizerReport:
         self.edges_checked += other.edges_checked
         self.memo_entries_checked += other.memo_entries_checked
         self.amplitudes_checked += other.amplitudes_checked
+        self.refcounts_checked += other.refcounts_checked
         return self
 
     def summary(self) -> str:
@@ -142,7 +144,8 @@ class SanitizerReport:
             f"sanitizer: {status} "
             f"({self.nodes_checked} nodes, {self.edges_checked} edges, "
             f"{self.memo_entries_checked} memo entries, "
-            f"{self.amplitudes_checked} amplitudes checked)"
+            f"{self.amplitudes_checked} amplitudes, "
+            f"{self.refcounts_checked} refcounts checked)"
         )
 
 
@@ -208,6 +211,8 @@ class Sanitizer:
         if not state.is_terminal and state.node.level == self.manager.num_qubits:
             with tracer.span("dd.sanitize.amplitudes"):
                 report.merge(self._check_amplitudes(state))
+        with tracer.span("dd.sanitize.refcounts"):
+            report.merge(self._check_refcounts())
         self.total.merge(report)
         if raise_on_violation and not report.ok:
             raise report.violations[0].to_error()
@@ -424,6 +429,29 @@ class Sanitizer:
         uid_map = self._uid_map()
         self._replay_add_cache(uid_map, report)
         self._replay_mat_vec_cache(uid_map, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Refcount audit (delegated to the memory manager)
+    # ------------------------------------------------------------------
+
+    def _check_refcounts(self) -> SanitizerReport:
+        """Cross-check stored refcounts against a structural recount.
+
+        Delegates to :meth:`repro.dd.mem.MemoryManager.audit`, which
+        recomputes every resident node's expected in-degree (child-edge
+        slots plus registered roots) and compares it with the ``ref``
+        slot maintained incrementally by the unique tables.  A mismatch
+        is the GC analogue of a stale memo: the counters are advisory
+        for mark-and-sweep, but a drifting counter means create/sweep
+        bookkeeping has diverged from the actual DAG shape.
+        """
+        report = SanitizerReport()
+        memory = getattr(self.manager, "memory", None)
+        if memory is None:
+            return report
+        report.refcounts_checked = memory.node_count
+        report.violations.extend(memory.audit())
         return report
 
     def _replay_add_cache(self, uid_map: Dict[int, Node], report: SanitizerReport) -> None:

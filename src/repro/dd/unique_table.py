@@ -22,15 +22,26 @@ benchmarks rely on this when comparing counter snapshots).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Set, Tuple
 
-from repro.dd.edge import Edge, Node
+from repro.dd.edge import REF_SATURATION, Edge, Node
 
 __all__ = ["UniqueTable", "ComputeTable"]
 
 
 class ComputeTable:
-    """A bounded memo table with hit/miss/insert/eviction counters."""
+    """A bounded memo table with hit/miss/insert/eviction counters.
+
+    Counter accounting balances at all times::
+
+        inserts - evicted_entries - discards == len(table)
+
+    ``put`` of an already-present key is counted under ``updates`` (the
+    entry count does not change), ``discard`` of a present key under
+    ``discards``, and every wholesale drop (capacity eviction,
+    ``clear``, ``invalidate``) under ``evicted_entries`` -- so
+    observability snapshots reconcile exactly.
+    """
 
     __slots__ = (
         "name",
@@ -38,8 +49,12 @@ class ComputeTable:
         "hits",
         "misses",
         "inserts",
+        "updates",
+        "discards",
         "evictions",
         "evicted_entries",
+        "generation",
+        "invalidations",
         "_table",
     )
 
@@ -51,8 +66,12 @@ class ComputeTable:
         self.hits = 0
         self.misses = 0
         self.inserts = 0
+        self.updates = 0
+        self.discards = 0
         self.evictions = 0
         self.evicted_entries = 0
+        self.generation = 0
+        self.invalidations = 0
         self._table: Dict[Any, Any] = {}
 
     def __len__(self) -> int:
@@ -67,20 +86,45 @@ class ComputeTable:
         return value
 
     def put(self, key: Any, value: Any) -> None:
-        if len(self._table) >= self.capacity:
+        table = self._table
+        if key in table:
+            # Overwrite in place: the entry count is unchanged, so this
+            # is an update, not an insert (keeps the balance invariant
+            # inserts - evicted_entries - discards == len).
+            table[key] = value
+            self.updates += 1
+            return
+        if len(table) >= self.capacity:
             # Wholesale eviction: cheap, and the counters are cumulative
             # (``evicted_entries`` accounts for the dropped entries), so
             # ``statistics()`` stays monotonic across the swap.
-            self.evicted_entries += len(self._table)
-            self._table.clear()
+            self.evicted_entries += len(table)
+            table.clear()
             self.evictions += 1
-        self._table[key] = value
+        table[key] = value
         self.inserts += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; they describe the run)."""
         self.evicted_entries += len(self._table)
         self._table.clear()
+
+    def invalidate(self) -> int:
+        """Drop all entries and advance the generation stamp.
+
+        The garbage collector calls this after sweeping the unique
+        tables: any memoised result may reference a swept node, so the
+        whole generation is retired at once (entries are not
+        generation-tagged individually; the stamp records the epoch for
+        observability and lets callers detect cross-GC reuse).  Returns
+        the number of entries dropped.
+        """
+        dropped = len(self._table)
+        self.evicted_entries += dropped
+        self._table.clear()
+        self.generation += 1
+        self.invalidations += 1
+        return dropped
 
     # -- sanitizer access ------------------------------------------------
 
@@ -94,13 +138,18 @@ class ComputeTable:
         return iter(self._table.items())
 
     def discard(self, key: Any) -> Any:
-        """Remove one entry (no counter changes); returns it or ``None``.
+        """Remove one entry; returns it or ``None``.
 
         Sanitizer hook: an entry is taken out, recomputed from scratch
         and compared against the removed value (simply re-getting it
-        would answer the question with the memo under test).
+        would answer the question with the memo under test).  A
+        successful removal counts under ``discards`` so snapshots keep
+        balancing.
         """
-        return self._table.pop(key, None)
+        value = self._table.pop(key, None)
+        if value is not None:
+            self.discards += 1
+        return value
 
     def statistics(self) -> Dict[str, int]:
         # Uniform observability schema: every engine table reports at
@@ -111,8 +160,12 @@ class ComputeTable:
             "hits": self.hits,
             "misses": self.misses,
             "inserts": self.inserts,
+            "updates": self.updates,
+            "discards": self.discards,
             "evictions": self.evictions,
             "evicted_entries": self.evicted_entries,
+            "generation": self.generation,
+            "invalidations": self.invalidations,
         }
 
 
@@ -134,8 +187,18 @@ class UniqueTable:
         self._next_uid = uid_source
         self.hits = 0
         self.misses = 0
-        self.evictions = 0  # clear/retain events that dropped entries
+        self.evictions = 0  # clear/retain/sweep events that dropped entries
         self.evicted_entries = 0  # cumulative entries dropped
+        #: Fired after public pruning (:meth:`retain`/:meth:`clear`)
+        #: drops entries, so derived state (compute tables, weight
+        #: memos) referencing swept nodes is invalidated in lock-step.
+        #: The garbage collector's :meth:`sweep` does *not* fire it --
+        #: the collector performs one consolidated invalidation itself.
+        self._on_invalidate: Optional[Callable[[], None]] = None
+
+    def set_invalidation_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        """Install the callback fired when public pruning drops nodes."""
+        self._on_invalidate = hook
 
     def __len__(self) -> int:
         return len(self._table)
@@ -164,6 +227,15 @@ class UniqueTable:
             return node
         self.misses += 1
         node = Node(self._next_uid(), level, edges)
+        # Refcount maintenance: one count per parent edge slot (a node
+        # referenced twice by the same parent counts twice), saturating
+        # at REF_SATURATION.  The terminal is born saturated, so this
+        # loop skips it for free.
+        for edge in edges:
+            child = edge.node
+            count = child.ref
+            if count < REF_SATURATION:
+                child.ref = count + 1
         self._table[key] = node
         return node
 
@@ -186,12 +258,42 @@ class UniqueTable:
         """Drop all interned nodes (invalidates outstanding edges).
 
         Counters are cumulative and survive, mirroring
-        :meth:`ComputeTable.clear`.
+        :meth:`ComputeTable.clear`.  Fires the invalidation hook when
+        entries were dropped: memoised results and weight memos may
+        reference the swept nodes and must not outlive them.
         """
-        if self._table:
+        dropped = len(self._table)
+        if dropped:
             self.evictions += 1
-            self.evicted_entries += len(self._table)
+            self.evicted_entries += dropped
         self._table.clear()
+        if dropped and self._on_invalidate is not None:
+            self._on_invalidate()
+
+    def sweep(self, marked_uids: Set[int]) -> int:
+        """Drop every node whose uid is *not* in ``marked_uids``.
+
+        The mark-and-sweep primitive: removes unmarked nodes from the
+        table and decrements the refcounts of their children (one per
+        edge slot, symmetric with :meth:`get_or_create`; saturated and
+        already-zero counts are left untouched so the sanitizer audit
+        can spot genuine underflow).  Does not fire the invalidation
+        hook -- the collector invalidates derived state itself, once,
+        after sweeping both tables.  Returns the number dropped.
+        """
+        table = self._table
+        dead = [key for key, node in table.items() if node.uid not in marked_uids]
+        for key in dead:
+            node = table.pop(key)
+            for edge in node.edges:
+                child = edge.node
+                count = child.ref
+                if 0 < count < REF_SATURATION:
+                    child.ref = count - 1
+        if dead:
+            self.evictions += 1
+            self.evicted_entries += len(dead)
+        return len(dead)
 
     def retain(self, live_uids: Iterable[int]) -> int:
         """Garbage-collect: keep only nodes whose uid is in ``live_uids``.
@@ -201,16 +303,14 @@ class UniqueTable:
         Python references) but will re-intern as fresh nodes if an
         identical structure is built again -- so callers must only
         retain uid sets closed under reachability (the manager's
-        ``prune`` computes that closure).
+        ``prune`` computes that closure).  Fires the invalidation hook
+        when entries were dropped, so compute tables and weight memos
+        never hold results referencing swept nodes.
         """
-        live = set(live_uids)
-        dead = [key for key, node in self._table.items() if node.uid not in live]
-        for key in dead:
-            del self._table[key]
-        if dead:
-            self.evictions += 1
-            self.evicted_entries += len(dead)
-        return len(dead)
+        dropped = self.sweep(set(live_uids))
+        if dropped and self._on_invalidate is not None:
+            self._on_invalidate()
+        return dropped
 
     def statistics(self) -> Dict[str, int]:
         # Every miss interns a fresh node, so inserts == misses.  The

@@ -55,7 +55,7 @@ class SanitizerError(DDError):
         A short stable identifier, one of
         ``level-structure``, ``zero-edge-form``, ``weight-form``,
         ``normalization``, ``shadow-node``, ``stale-memo``,
-        ``amplitude-mismatch``.
+        ``amplitude-mismatch``, ``refcount``.
     ``path``
         Child indices from the root edge to the offending node
         (empty for the root itself; ``None`` for non-walk findings
@@ -84,6 +84,39 @@ class SanitizerError(DDError):
 
 class LevelMismatchError(DDError):
     """Raised when combining decision diagrams over different qubit counts."""
+
+
+class MemoryBudgetExceeded(DDError):
+    """Live DD state exceeds the configured memory budget even after GC.
+
+    Raised by :class:`repro.dd.mem.MemoryManager` when a collection
+    triggered by a :class:`~repro.dd.mem.MemoryBudget` cannot bring the
+    resident node count (or approximate byte footprint) back under the
+    limit -- the *live* structure itself no longer fits, so further
+    collections would only thrash.  Structured fields let callers
+    report precisely what overflowed:
+
+    ``nodes`` / ``approx_bytes``
+        Resident totals measured after the final collection attempt
+        (``approx_bytes`` is ``None`` when no byte limit was set).
+    ``max_nodes`` / ``max_bytes``
+        The configured limits (``None`` when unset).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        nodes: int,
+        approx_bytes: "int | None" = None,
+        max_nodes: "int | None" = None,
+        max_bytes: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.nodes = nodes
+        self.approx_bytes = approx_bytes
+        self.max_nodes = max_nodes
+        self.max_bytes = max_bytes
 
 
 class CircuitError(ReproError):

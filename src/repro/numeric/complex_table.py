@@ -85,7 +85,9 @@ class ComplexTable:
         #: knob lets the evaluation demonstrate it in the cheap
         #: direction).
         self.precision = precision
-        self._entries: list[ComplexEntry] = []
+        # Tombstoned (None) slots are left behind by sweep_entries;
+        # indices are append-only and never reused.
+        self._entries: list[Optional[ComplexEntry]] = []
         self._exact: Dict[Tuple[float, float], ComplexEntry] = {}
         # Bucket grid for tolerance search: one bucket per 2*eps square so
         # a candidate within eps is always in the same or a neighbouring
@@ -98,19 +100,21 @@ class ComplexTable:
         # identifications are derived, never separately counted.
         self.lookups = 0
         self.inserts = 0
+        self.swept = 0
         self.zero = self.lookup(complex(0.0, 0.0))
         self.one = self.lookup(complex(1.0, 0.0))
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
+        """The index space size (tombstones included; never shrinks)."""
         return len(self._entries)
 
-    def entries(self) -> Tuple[ComplexEntry, ...]:
+    def entries(self) -> Tuple[Optional[ComplexEntry], ...]:
         return tuple(self._entries)
 
     def entry(self, index: int) -> Optional[ComplexEntry]:
-        """The entry at ``index``, or ``None`` if out of range.
+        """The entry at ``index``, or ``None`` if out of range or swept.
 
         Sanitizer hook: lets the DD layer verify that an edge weight's
         ``index`` round-trips to the very same interned object.
@@ -168,6 +172,38 @@ class ComplexTable:
             self._buckets.setdefault(self._bucket_key(value), []).append(entry)
         return entry
 
+    def sweep_entries(self, live_indices: "set[int]") -> int:
+        """Garbage-collect exact-mode entries not in ``live_indices``.
+
+        Only meaningful for ``eps == 0``: re-interning a swept value is
+        bit-identical, so sweeping never changes results.  With
+        ``eps > 0`` this is a no-op returning 0 -- every stored entry
+        is an identification *anchor*, and removing one would change
+        which entry later values within eps snap to (identification is
+        only transitive within a run because anchors stay live).
+
+        Swept slots are tombstoned (``None``) and indices never reused:
+        unique-table keys embed entry indices, and a recycled index
+        could alias two different values into one node key.
+        """
+        if self.eps > 0.0:
+            return 0
+        swept = 0
+        entries = self._entries
+        exact = self._exact
+        for index, entry in enumerate(entries):
+            if entry is None or index in live_indices:
+                continue
+            if entry is self.zero or entry is self.one:
+                continue
+            key = (entry.value.real + 0.0, entry.value.imag + 0.0)
+            if exact.get(key) is entry:
+                del exact[key]
+            entries[index] = None
+            swept += 1
+        self.swept += swept
+        return swept
+
     # ------------------------------------------------------------------
     # Convenience predicates used by the DD layer
     # ------------------------------------------------------------------
@@ -195,17 +231,20 @@ class ComplexTable:
 
         Reports the uniform engine-table schema (size/hits/misses/
         inserts/evictions, see :mod:`repro.obs`) plus the table-specific
-        extras (``eps``, ``buckets``, ``identifications``).  Entries are
-        never evicted: tolerance-transitivity relies on every anchor
-        staying live.
+        extras (``eps``, ``buckets``, ``identifications``).  With
+        ``eps > 0`` entries are never evicted (tolerance-transitivity
+        relies on every anchor staying live); in exact mode the garbage
+        collector may sweep unreferenced entries (``swept``).
         """
+        live = float(len(self._entries) - self.swept)
         return {
-            "size": float(len(self._entries)),
+            "size": live,
             "hits": float(self.identifications),
             "misses": float(self.inserts),
             "inserts": float(self.inserts),
-            "evictions": 0.0,
-            "entries": float(len(self._entries)),
+            "evictions": float(self.swept),
+            "swept": float(self.swept),
+            "entries": live,
             "identifications": float(self.identifications),
             "eps": self.eps,
             "buckets": float(len(self._buckets)) if self.eps > 0 else float(len(self._exact)),

@@ -107,6 +107,19 @@ class Simulator:
         spans).  Defaults to the manager's own scope, so one profile
         covers the whole stack; pass an explicit scope only to separate
         driver metrics from engine metrics.
+    gc:
+        Garbage-collection policy forwarded to the manager's
+        :class:`~repro.dd.mem.MemoryManager` (``True`` for the default
+        policy, an ``int`` node threshold, a
+        :class:`~repro.dd.mem.MemoryBudget` or full
+        :class:`~repro.dd.mem.MemoryConfig`; ``None`` leaves the
+        manager's configuration untouched).  With GC active, :meth:`run`
+        keeps the evolving state registered as a root, gives the
+        collector a chance to run after every gate, and leaves the
+        final state registered (it backs the returned
+        :class:`SimulationResult`).  A configured budget raises
+        :class:`~repro.errors.MemoryBudgetExceeded` mid-run when the
+        live state cannot fit.
     """
 
     def __init__(
@@ -116,6 +129,7 @@ class Simulator:
         use_apply_kernel: bool = True,
         sanitize: "SanitizerMode | str | bool | None" = None,
         telemetry: Optional[Telemetry] = None,
+        gc: "Any | None" = None,
     ) -> None:
         self.manager = manager
         self.record_bit_widths = record_bit_widths
@@ -135,6 +149,10 @@ class Simulator:
         self._gate_cache: Dict[Tuple, Edge] = {}
         self._entry_cache: Dict[Tuple, Tuple[Any, ...]] = {}
         self._kernel_cache: Dict[Tuple, Any] = {}
+        if gc is not None:
+            manager.memory.configure(gc)
+        memory = manager.memory
+        self._gc_active = memory.config.enabled or memory.config.budget is not None
 
     # ------------------------------------------------------------------
 
@@ -158,6 +176,9 @@ class Simulator:
             controls=operation.controls,
             negative_controls=operation.negative_controls,
         )
+        # Cached across gate applications: pin so a GC pass between two
+        # uses cannot sweep the gate's nodes from under the cache.
+        self.manager.memory.pin(edge)
         self._gate_cache[key] = edge
         return edge
 
@@ -236,6 +257,13 @@ class Simulator:
         tracing = tracer.enabled  # hoisted: no span kwargs built when off
         gate_counter = self._gate_counter
         gate_seconds = self._gate_seconds
+        gc_active = self._gc_active
+        memory = self.manager.memory
+        if gc_active:
+            # The evolving state is the collector's root.  The previous
+            # state is released only after the new one is registered, so
+            # a same-node transition never transiently drops to zero.
+            memory.inc_ref(state)
         previous_nodes = 0
         previous_elapsed = 0.0
         started = time.perf_counter()
@@ -243,9 +271,16 @@ class Simulator:
             if tracing:
                 span = tracer.span("sim.gate", gate=str(operation.gate), index=index)
                 with span:
-                    state = self._apply_operation(state, operation)
+                    new_state = self._apply_operation(state, operation)
             else:
-                state = self._apply_operation(state, operation)
+                new_state = self._apply_operation(state, operation)
+            if gc_active:
+                memory.inc_ref(new_state)
+                memory.dec_ref(state)
+                state = new_state
+                memory.maybe_collect()
+            else:
+                state = new_state
             if check_every_op:
                 sanitizer.check_state(state)
             elapsed = time.perf_counter() - started

@@ -136,3 +136,67 @@ class TestApplyRoutingCounters:
         stats = manager.statistics()
         assert stats["apply_delegated_ops"] == 0
         assert stats["apply_direct_ops"] == 0
+
+
+class TestComputeTableBalanceInvariant:
+    """Regression: ``discard`` removed entries without counting them, so
+    ``inserts - evicted_entries`` overstated the resident size and
+    snapshot deltas went negative after a sanitizer memo replay.  The
+    accounting now satisfies, at every point in time::
+
+        inserts - evicted_entries - discards == len(table)
+
+    and overwriting an existing key is an ``update``, not an insert."""
+
+    @staticmethod
+    def _assert_balanced(table):
+        stats = table.statistics()
+        assert (
+            stats["inserts"] - stats["evicted_entries"] - stats["discards"]
+            == stats["size"]
+        )
+
+    def test_discard_is_counted(self):
+        table = ComputeTable("t", capacity=8)
+        table.put("a", 1)
+        assert table.discard("a") == 1
+        assert table.discard("a") is None  # absent: not double-counted
+        stats = table.statistics()
+        assert stats["discards"] == 1
+        assert stats["size"] == 0
+        self._assert_balanced(table)
+
+    def test_overwrite_is_an_update_not_an_insert(self):
+        table = ComputeTable("t", capacity=8)
+        table.put("a", 1)
+        table.put("a", 2)
+        stats = table.statistics()
+        assert stats["inserts"] == 1
+        assert stats["updates"] == 1
+        assert table.get("a") == 2
+        self._assert_balanced(table)
+
+    def test_invalidate_bumps_generation_and_balances(self):
+        table = ComputeTable("t", capacity=8)
+        for i in range(5):
+            table.put(i, i)
+        assert table.generation == 0
+        dropped = table.invalidate()
+        assert dropped == 5
+        stats = table.statistics()
+        assert stats["generation"] == 1
+        assert stats["invalidations"] == 1
+        assert stats["size"] == 0
+        self._assert_balanced(table)
+
+    def test_balance_holds_across_mixed_operations(self):
+        table = ComputeTable("t", capacity=3)
+        for step in range(60):
+            table.put(step % 7, step)      # inserts, updates, evictions
+            if step % 5 == 0:
+                table.discard(step % 7)
+            if step % 13 == 0:
+                table.invalidate()
+            if step % 17 == 0:
+                table.clear()
+            self._assert_balanced(table)

@@ -45,6 +45,15 @@ codebase has to protect canonicity:
     nobody can snapshot.  Count through a registry instrument or expose
     plain integer attributes read by a collector.
 
+``RL007`` -- **no reaching into unique-table internals.**
+    ``table._table`` / ``table._next_uid`` accessed on anything but
+    ``self`` mutates node residency behind the refcount and GC
+    bookkeeping: a node popped from the raw dict leaves its children's
+    refcounts stale and skips the compute-table invalidation hook.
+    Resident-set changes go through ``sweep``/``retain``/``clear`` (or
+    the memory manager); only ``repro/dd/unique_table.py`` and
+    ``repro/dd/mem.py`` may touch the internals.
+
 Suppression: append ``# repro-lint: allow[RL00X]`` (comma-separated
 codes allowed) to the offending line.
 
@@ -408,6 +417,39 @@ def _rl006_check(tree: ast.AST, path: str) -> Iterator[Finding]:
                 )
 
 
+# ---------------------------------------------------------------------------
+# RL007: unique-table internals stay behind the lifecycle API
+# ---------------------------------------------------------------------------
+
+_UNIQUE_TABLE_INTERNALS = frozenset({"_table", "_next_uid"})
+_UNIQUE_TABLE_PRIVILEGED = frozenset({"unique_table.py", "mem.py"})
+
+
+def _rl007_applies(path: str) -> bool:
+    return _in_repro(path) and _basename(path) not in _UNIQUE_TABLE_PRIVILEGED
+
+
+def _rl007_check(tree: ast.AST, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr not in _UNIQUE_TABLE_INTERNALS:
+            continue
+        receiver = node.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            continue
+        yield Finding(
+            "RL007",
+            path,
+            node.lineno,
+            node.col_offset,
+            f"access to unique-table internal {node.attr!r} outside the "
+            "lifecycle layer; resident-set changes must go through "
+            "sweep/retain/clear (or DDManager.memory) so refcounts stay "
+            "balanced and derived caches are invalidated",
+        )
+
+
 RULES: Tuple[Rule, ...] = (
     Rule("RL001", "Node() outside the unique table", _rl001_applies, _rl001_check),
     Rule("RL002", "float/math leakage into exact rings", _in_rings, _rl002_check),
@@ -419,6 +461,12 @@ RULES: Tuple[Rule, ...] = (
         "ad-hoc observability in the engine core",
         _rl006_applies,
         _rl006_check,
+    ),
+    Rule(
+        "RL007",
+        "unique-table internals accessed outside the lifecycle layer",
+        _rl007_applies,
+        _rl007_check,
     ),
 )
 

@@ -1,0 +1,25 @@
+# lint-path: src/repro/dd/rogue_pruner.py
+"""RL007: node residency changes bypass the lifecycle layer.
+
+Popping nodes out of the raw unique-table dict leaves child refcounts
+stale and skips the compute-table invalidation hook; minting uids by
+hand breaks the shared uid space of the vector and matrix tables.
+"""
+
+
+def rogue_prune(manager, live_uids):
+    table = manager._vector_table
+    for key in list(table._table):  # lint-expect: RL007
+        if table._table[key].uid not in live_uids:  # lint-expect: RL007
+            del table._table[key]  # lint-expect: RL007
+
+
+def rogue_uid(table):
+    return table._next_uid()  # lint-expect: RL007
+
+
+def fine(manager, live_uids):
+    # The blessed path: refcount-aware sweep plus derived-cache
+    # invalidation through the memory manager.
+    manager._vector_table.retain(live_uids)
+    return manager.memory.collect()
