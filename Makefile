@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean lint typecheck sanitize-smoke gc-smoke
+.PHONY: install test bench figures examples clean lint typecheck sanitize-smoke gc-smoke batch-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,6 +40,14 @@ gc-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli gc --algorithm grover \
 	    --qubits 8 --system numeric --eps 1e-12 --threshold 512 \
 	    --max-nodes 1200 --audit
+
+# End-to-end parallel batch run: the eps-tradeoff sweep fanned out over
+# 4 worker processes, plus the determinism suite (workers=4 must be
+# byte-identical to workers=1).  Exits non-zero on any job failure.
+batch-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli batch --algorithm grover \
+	    --qubits 5 --include-gcd --workers 4 --retries 1
+	PYTHONPATH=src $(PYTHON) -m pytest tests/exec/test_batch.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -23,15 +23,19 @@ The package provides
   Binary Welded Tree, GSE phase estimation) and the evaluation harness
   regenerating its figures (:mod:`repro.evalsuite`).
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the documented surface)::
 
-    from repro import Circuit, Simulator, algebraic_manager
+    from repro import Circuit, RunRequest, SimulatorConfig, run
 
     circuit = Circuit(2).h(0).cx(0, 1)
-    result = Simulator(algebraic_manager(2)).run(circuit)
-    print(result.final_amplitudes())   # exact Bell state
+    result = run(RunRequest(circuit, SimulatorConfig(system="algebraic")))
+    print(result.node_count, result.is_zero_state)
+
+Sweeps fan out over a process pool with :func:`repro.run_batch`; see
+``docs/API.md``.
 """
 
+from repro.api import RunRequest, RunResult, SimulatorConfig, run, run_batch
 from repro.circuits.circuit import Circuit, Operation
 from repro.dd.manager import (
     DDManager,
@@ -53,8 +57,11 @@ __all__ = [
     "Dyadic",
     "Operation",
     "QOmega",
+    "RunRequest",
+    "RunResult",
     "SimulationResult",
     "Simulator",
+    "SimulatorConfig",
     "StatevectorSimulator",
     "ZOmega",
     "ZSqrt2",
@@ -64,4 +71,6 @@ __all__ = [
     "check_equivalence",
     "check_state_equivalence",
     "numeric_manager",
+    "run",
+    "run_batch",
 ]

@@ -5,6 +5,12 @@ Subcommands mirror the evaluation workflow:
 ``repro-qmdd simulate --algorithm grover --qubits 6 --system algebraic``
     Simulate one benchmark under one representation and print metrics.
 
+``repro-qmdd batch --algorithm grover --qubits 6 --workers 4``
+    Run the epsilon-tradeoff sweep as a parallel batch through
+    :func:`repro.api.run_batch` (per-job timeout, bounded retries) and
+    print -- or write with ``--report`` -- the batch report with
+    per-job and fleet-merged telemetry.
+
 ``repro-qmdd tradeoff --algorithm grover --qubits 6``
     Run the full epsilon sweep (the paper's Figs. 3-5) and print the
     three series plus the summary and shape checks.
@@ -34,23 +40,32 @@ Subcommands mirror the evaluation workflow:
 ``repro-qmdd trace --algorithm grover --qubits 6 --out trace.json``
     Run one benchmark and export the span ring as Chrome
     ``trace_event`` JSON (open in https://ui.perfetto.dev).
+
+The simulation flags (``--system``, ``--eps``, ``--gc``,
+``--sanitize``, ``--workers``) are spelled and defaulted identically
+on every sweep-capable subcommand; they come from one shared parent
+parser backed by :class:`repro.api.SimulatorConfig`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
 from repro.algorithms.bwt import bwt_circuit
 from repro.algorithms.grover import grover_circuit
 from repro.algorithms.gse import gse_circuit
-from repro.circuits.circuit import Circuit
-from repro.dd.manager import (
-    algebraic_gcd_manager,
-    algebraic_manager,
-    numeric_manager,
+from repro.api import (
+    SANITIZE_MODES,
+    SYSTEMS,
+    RunRequest,
+    SimulatorConfig,
+    make_simulator,
+    run_batch,
 )
+from repro.circuits.circuit import Circuit
 from repro.evalsuite.ablation import run_normalization_ablation
 from repro.evalsuite.experiments import (
     fig2_gse_size,
@@ -65,11 +80,61 @@ from repro.evalsuite.reporting import (
     render_series,
     render_summary,
 )
-from repro.evalsuite.tradeoff import run_tradeoff
+from repro.evalsuite.tradeoff import DEFAULT_EPSILONS, run_tradeoff, tradeoff_requests
 from repro.obs import Telemetry, aggregate_spans, write_chrome_trace, write_jsonl
-from repro.sim.simulator import Simulator
 
 __all__ = ["main"]
+
+#: Defaults for the shared flags come from the facade's own defaults,
+#: so the CLI can never drift from the library.
+_DEFAULTS = SimulatorConfig()
+
+
+def _config_parents() -> "tuple[argparse.ArgumentParser, argparse.ArgumentParser]":
+    """The two shared parent parsers (see module docstring).
+
+    ``system_parent`` carries ``--system``/``--eps`` for single-run
+    commands (profile, trace, sanitize, gc); ``config_parent`` extends
+    it with ``--gc``/``--sanitize``/``--workers`` for the sweep-capable
+    commands (simulate, batch, tradeoff, scaling, tuning, ablation).
+    """
+    system_parent = argparse.ArgumentParser(add_help=False)
+    system_parent.add_argument(
+        "--system", choices=SYSTEMS, default=_DEFAULTS.system, help="number system"
+    )
+    system_parent.add_argument(
+        "--eps", type=float, default=_DEFAULTS.eps, help="numeric tolerance"
+    )
+    config_parent = argparse.ArgumentParser(add_help=False, parents=[system_parent])
+    config_parent.add_argument(
+        "--gc",
+        type=int,
+        default=_DEFAULTS.gc,
+        help="garbage-collection node threshold (off when omitted)",
+    )
+    config_parent.add_argument(
+        "--sanitize",
+        choices=SANITIZE_MODES,
+        default=_DEFAULTS.sanitize,
+        help="DD invariant sanitizer mode",
+    )
+    config_parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for batched sweeps (1 = in-process)",
+    )
+    return system_parent, config_parent
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulatorConfig:
+    """A :class:`SimulatorConfig` from the shared flags (absent = default)."""
+    return SimulatorConfig(
+        system=args.system,
+        eps=args.eps,
+        gc=getattr(args, "gc", _DEFAULTS.gc),
+        sanitize=getattr(args, "sanitize", _DEFAULTS.sanitize),
+    )
 
 
 def _build_circuit(args: argparse.Namespace) -> Circuit:
@@ -83,22 +148,11 @@ def _build_circuit(args: argparse.Namespace) -> Circuit:
     raise SystemExit(f"unknown algorithm {args.algorithm!r}")
 
 
-def _build_manager(
-    system: str, eps: float, num_qubits: int, telemetry: Optional[Telemetry] = None
-):
-    if system == "algebraic":
-        return algebraic_manager(num_qubits, telemetry=telemetry)
-    if system == "algebraic-gcd":
-        return algebraic_gcd_manager(num_qubits, telemetry=telemetry)
-    if system == "numeric":
-        return numeric_manager(num_qubits, eps=eps, telemetry=telemetry)
-    raise SystemExit(f"unknown number system {system!r}")
-
-
 def _cmd_simulate(args: argparse.Namespace) -> int:
     circuit = _build_circuit(args)
-    manager = _build_manager(args.system, args.eps, circuit.num_qubits)
-    result = Simulator(manager).run(circuit)
+    config = _config_from_args(args)
+    manager = config.create_manager(circuit.num_qubits)
+    result = make_simulator(manager, config).run(circuit)
     print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
     print(f"system:  {manager.system.name}")
     print(f"final DD size: {result.node_count} nodes")
@@ -107,18 +161,71 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    circuit = _build_circuit(args)
+    epsilons = (
+        tuple(float(eps) for eps in args.epsilons.split(","))
+        if args.epsilons
+        else DEFAULT_EPSILONS
+    )
+    requests = tradeoff_requests(
+        circuit, epsilons=epsilons, include_gcd=args.include_gcd
+    )
+    batch = run_batch(
+        requests,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+    )
+    report = batch.to_dict()
+    print(
+        f"batch: {len(batch.results)} jobs on {batch.workers} worker(s), "
+        f"{batch.seconds:.2f} s wall-clock, "
+        f"{len(batch.completed)} completed, {len(batch.failures)} failed"
+    )
+    print(
+        format_table(
+            ["job", "nodes", "seconds", "attempts", "final_error", "zero"],
+            [
+                [
+                    result.label,
+                    result.node_count,
+                    round(result.seconds, 4),
+                    result.attempts,
+                    result.final_error if result.final_error is not None else "-",
+                    result.is_zero_state,
+                ]
+                for result in batch.completed
+            ],
+        )
+    )
+    for failure in batch.failures:
+        print(
+            f"FAILED {failure.label}: [{failure.error_type}] {failure.message} "
+            f"(attempts={failure.attempts}, timed_out={failure.timed_out})"
+        )
+    print()
+    print("fleet-merged telemetry:")
+    print(render_metrics(batch.metrics))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote batch report to {args.report}")
+    return 0 if batch.ok else 1
+
+
 def _cmd_sanitize(args: argparse.Namespace) -> int:
-    from repro.dd.sanitizer import Sanitizer, SanitizerMode
     from repro.errors import SanitizerError
 
     circuit = _build_circuit(args)
-    manager = _build_manager(args.system, args.eps, circuit.num_qubits)
-    mode = SanitizerMode.coerce(args.mode)
-    if mode is SanitizerMode.OFF:
+    if args.mode == "off":
         raise SystemExit("sanitize: --mode must be check-on-root or check-every-op")
-    simulator = Simulator(manager, sanitize=mode)
+    config = SimulatorConfig(system=args.system, eps=args.eps, sanitize=args.mode)
+    manager = config.create_manager(circuit.num_qubits)
+    simulator = make_simulator(manager, config)
     print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
-    print(f"system:  {manager.system.name}   mode: {mode.value}")
+    print(f"system:  {manager.system.name}   mode: {args.mode}")
     try:
         result = simulator.run(circuit)
     except SanitizerError as error:
@@ -133,25 +240,24 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
-    from repro.dd.mem import MemoryBudget, MemoryConfig
     from repro.errors import MemoryBudgetExceeded, SanitizerError
 
     circuit = _build_circuit(args)
-    manager = _build_manager(args.system, args.eps, circuit.num_qubits)
-    budget = None
-    if args.max_nodes is not None or args.max_bytes is not None:
-        budget = MemoryBudget(max_nodes=args.max_nodes, max_bytes=args.max_bytes)
-    config = MemoryConfig(
-        threshold=args.threshold,
-        min_yield=args.min_yield,
-        budget=budget,
+    config = SimulatorConfig(
+        system=args.system,
+        eps=args.eps,
+        gc=args.threshold,
+        gc_min_yield=args.min_yield,
+        max_nodes=args.max_nodes,
+        max_bytes=args.max_bytes,
+        sanitize="check-on-root" if args.audit else "off",
     )
-    sanitize = "check-on-root" if args.audit else None
-    simulator = Simulator(manager, sanitize=sanitize, gc=config)
+    manager = config.create_manager(circuit.num_qubits)
+    simulator = make_simulator(manager, config)
     print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
-    print(f"system:  {manager.system.name}   threshold: {config.threshold}")
-    if budget is not None:
-        print(f"budget:  max_nodes={budget.max_nodes} max_bytes={budget.max_bytes}")
+    print(f"system:  {manager.system.name}   threshold: {args.threshold}")
+    if args.max_nodes is not None or args.max_bytes is not None:
+        print(f"budget:  max_nodes={args.max_nodes} max_bytes={args.max_bytes}")
     try:
         result = simulator.run(circuit)
     except MemoryBudgetExceeded as error:
@@ -179,8 +285,9 @@ def _cmd_gc(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     circuit = _build_circuit(args)
     telemetry = Telemetry.tracing(detail=args.detail)
-    manager = _build_manager(args.system, args.eps, circuit.num_qubits, telemetry)
-    result = Simulator(manager).run(circuit)
+    config = SimulatorConfig(system=args.system, eps=args.eps, telemetry="tracing")
+    manager = config.create_manager(circuit.num_qubits, telemetry)
+    result = make_simulator(manager, config).run(circuit)
     print(f"circuit: {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
     print(f"system:  {manager.system.name}")
     print(f"final DD size: {result.node_count} nodes")
@@ -208,8 +315,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     circuit = _build_circuit(args)
     telemetry = Telemetry.tracing(detail=args.detail)
-    manager = _build_manager(args.system, args.eps, circuit.num_qubits, telemetry)
-    Simulator(manager).run(circuit)
+    config = SimulatorConfig(system=args.system, eps=args.eps, telemetry="tracing")
+    manager = config.create_manager(circuit.num_qubits, telemetry)
+    make_simulator(manager, config).run(circuit)
     spans = telemetry.tracer.spans()
     if args.jsonl:
         count = write_jsonl(spans, args.jsonl)
@@ -226,7 +334,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_tradeoff(args: argparse.Namespace) -> int:
     circuit = _build_circuit(args)
-    result = run_tradeoff(circuit, include_gcd=args.include_gcd)
+    result = run_tradeoff(circuit, include_gcd=args.include_gcd, workers=args.workers)
     print(render_summary(result))
     print()
     for metric in ("nodes", "error", "seconds"):
@@ -263,7 +371,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_ablation(args: argparse.Namespace) -> int:
     marked = (1 << args.qubits) * 2 // 3
     circuit = grover_circuit(args.qubits, marked)
-    rows = run_normalization_ablation(circuit, include_gcd=not args.skip_gcd)
+    rows = run_normalization_ablation(
+        circuit, include_gcd=not args.skip_gcd, workers=args.workers
+    )
     print(f"normalisation ablation on {circuit.name}:")
     print(
         format_table(
@@ -287,7 +397,9 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.evalsuite.scaling import grover_scaling
 
-    rows = grover_scaling(qubit_range=range(args.min_qubits, args.max_qubits + 1))
+    rows = grover_scaling(
+        qubit_range=range(args.min_qubits, args.max_qubits + 1), workers=args.workers
+    )
     print("Grover peak DD size, exact vs eps=0 floats:")
     print(
         format_table(
@@ -312,7 +424,9 @@ def _cmd_tuning(args: argparse.Namespace) -> int:
     from repro.evalsuite.tuning import tune_epsilon
 
     circuit = _build_circuit(args)
-    report = tune_epsilon(circuit, error_target=args.error_target)
+    report = tune_epsilon(
+        circuit, error_target=args.error_target, workers=args.workers
+    )
     print(
         f"tolerance tuning on {circuit.name}: {report.num_trials} full "
         f"simulations, {report.total_seconds:.2f} s total"
@@ -345,6 +459,7 @@ def main(argv: Optional[list] = None) -> int:
         description="Algebraic vs numerical QMDDs (DATE 2019 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    system_parent, config_parent = _config_parents()
 
     def add_circuit_args(p):
         p.add_argument("--algorithm", choices=("grover", "bwt", "gse"), default="grover")
@@ -356,22 +471,42 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--sites", type=int, default=2, help="GSE system sites")
         p.add_argument("--precision", type=int, default=2, help="GSE phase bits")
 
-    simulate = sub.add_parser("simulate", help="simulate one benchmark")
-    add_circuit_args(simulate)
-    simulate.add_argument(
-        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
+    simulate = sub.add_parser(
+        "simulate", help="simulate one benchmark", parents=[config_parent]
     )
-    simulate.add_argument("--eps", type=float, default=0.0)
+    add_circuit_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
+    batch = sub.add_parser(
+        "batch",
+        help="run the epsilon sweep as a parallel batch",
+        parents=[config_parent],
+    )
+    add_circuit_args(batch)
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job deadline in seconds"
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0, help="extra rounds for failed jobs"
+    )
+    batch.add_argument(
+        "--backoff", type=float, default=0.5, help="base sleep between retry rounds"
+    )
+    batch.add_argument(
+        "--epsilons",
+        default=None,
+        help="comma-separated tolerance sweep (default: the paper's)",
+    )
+    batch.add_argument("--include-gcd", action="store_true")
+    batch.add_argument("--report", default=None, help="write the JSON batch report here")
+    batch.set_defaults(func=_cmd_batch)
+
     sanitize = sub.add_parser(
-        "sanitize", help="simulate under the DD invariant sanitizer"
+        "sanitize",
+        help="simulate under the DD invariant sanitizer",
+        parents=[system_parent],
     )
     add_circuit_args(sanitize)
-    sanitize.add_argument(
-        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
-    )
-    sanitize.add_argument("--eps", type=float, default=0.0)
     sanitize.add_argument(
         "--mode",
         choices=("check-on-root", "check-every-op"),
@@ -380,13 +515,11 @@ def main(argv: Optional[list] = None) -> int:
     sanitize.set_defaults(func=_cmd_sanitize)
 
     gc = sub.add_parser(
-        "gc", help="simulate with the garbage collector on and report GC stats"
+        "gc",
+        help="simulate with the garbage collector on and report GC stats",
+        parents=[system_parent],
     )
     add_circuit_args(gc)
-    gc.add_argument(
-        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
-    )
-    gc.add_argument("--eps", type=float, default=0.0)
     gc.add_argument(
         "--threshold", type=int, default=1000, help="resident-node count that triggers a collection"
     )
@@ -406,13 +539,11 @@ def main(argv: Optional[list] = None) -> int:
     gc.set_defaults(func=_cmd_gc)
 
     profile = sub.add_parser(
-        "profile", help="top spans + engine hit rates for one benchmark"
+        "profile",
+        help="top spans + engine hit rates for one benchmark",
+        parents=[system_parent],
     )
     add_circuit_args(profile)
-    profile.add_argument(
-        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
-    )
-    profile.add_argument("--eps", type=float, default=0.0)
     profile.add_argument("--top", type=int, default=15, help="span rows to print")
     profile.add_argument(
         "--detail",
@@ -422,19 +553,17 @@ def main(argv: Optional[list] = None) -> int:
     profile.set_defaults(func=_cmd_profile)
 
     trace = sub.add_parser(
-        "trace", help="export spans as Chrome trace_event JSON"
+        "trace", help="export spans as Chrome trace_event JSON", parents=[system_parent]
     )
     add_circuit_args(trace)
-    trace.add_argument(
-        "--system", choices=("numeric", "algebraic", "algebraic-gcd"), default="algebraic"
-    )
-    trace.add_argument("--eps", type=float, default=0.0)
     trace.add_argument("--out", default="trace.json", help="Chrome trace output path")
     trace.add_argument("--jsonl", default=None, help="also write a JSONL span dump")
     trace.add_argument("--detail", action="store_true")
     trace.set_defaults(func=_cmd_trace)
 
-    tradeoff = sub.add_parser("tradeoff", help="run the epsilon sweep")
+    tradeoff = sub.add_parser(
+        "tradeoff", help="run the epsilon sweep", parents=[config_parent]
+    )
     add_circuit_args(tradeoff)
     tradeoff.add_argument("--include-gcd", action="store_true")
     tradeoff.add_argument("--samples", type=int, default=10)
@@ -446,17 +575,23 @@ def main(argv: Optional[list] = None) -> int:
     figure.add_argument("--samples", type=int, default=10)
     figure.set_defaults(func=_cmd_figure)
 
-    ablation = sub.add_parser("ablation", help="normalisation-scheme ablation")
+    ablation = sub.add_parser(
+        "ablation", help="normalisation-scheme ablation", parents=[config_parent]
+    )
     ablation.add_argument("--qubits", type=int, default=5)
     ablation.add_argument("--skip-gcd", action="store_true")
     ablation.set_defaults(func=_cmd_ablation)
 
-    scaling = sub.add_parser("scaling", help="DD size vs qubit count")
+    scaling = sub.add_parser(
+        "scaling", help="DD size vs qubit count", parents=[config_parent]
+    )
     scaling.add_argument("--min-qubits", type=int, default=4)
     scaling.add_argument("--max-qubits", type=int, default=7)
     scaling.set_defaults(func=_cmd_scaling)
 
-    tuning = sub.add_parser("tuning", help="tolerance fine-tuning cost")
+    tuning = sub.add_parser(
+        "tuning", help="tolerance fine-tuning cost", parents=[config_parent]
+    )
     add_circuit_args(tuning)
     tuning.add_argument("--error-target", type=float, default=1e-8)
     tuning.set_defaults(func=_cmd_tuning)

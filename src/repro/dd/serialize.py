@@ -116,9 +116,15 @@ def dumps(manager: DDManager, edge: Edge) -> str:
 def loads(manager: DDManager, text: str) -> Edge:
     """Rebuild a DD inside ``manager`` (widths and systems must match).
 
-    The nodes are re-interned through the manager's unique table, so
-    the result is canonical -- structurally identical saves produce the
-    identical node, and an exact save round-trips bit for bit.
+    The nodes are re-interned through the manager's unique table and
+    every weight payload is re-interned through the manager's own
+    weight/complex table, so the result is canonical -- structurally
+    identical saves produce the identical node, and an exact save
+    round-trips bit for bit.  Nothing in the format references
+    weight-table ids, so a document produced by a *different process*
+    (or a manager with a different interning history) loads into a
+    fresh :class:`DDManager` unchanged; this is the transport format of
+    the batch-execution engine (:mod:`repro.exec`).
     """
     document = json.loads(text)
     if document.get("format") != _FORMAT_VERSION:
@@ -144,10 +150,14 @@ def loads(manager: DDManager, text: str) -> Edge:
                 base = rebuilt[child["node"]]
                 children.append(manager.scale(base, weight))
         interned = manager.make_node(record["level"], children)
-        # Saved child weights are relative to the *normalised* node, so
-        # re-normalising them is a no-op (eta == 1 by canonicity); the
-        # stored reference therefore denotes the node with weight one.
-        rebuilt.append(Edge(interned.node, manager.system.one))
+        # Saved child weights are relative to the normalised node, so
+        # for a save produced under this manager's own normalisation
+        # scheme re-normalising is a no-op (eta == 1 by canonicity).
+        # Keep eta anyway: a document written under a *different*
+        # scheme (e.g. numeric leftmost vs max-magnitude) re-normalises
+        # on load, and dropping the factor would silently rescale every
+        # subtree that references this node.
+        rebuilt.append(interned)
     root_weight = _weight_from_payload(manager, document["root"]["weight"])
     if document["root"]["node"] < 0:
         return manager.terminal_edge(root_weight)

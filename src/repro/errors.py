@@ -119,6 +119,15 @@ class MemoryBudgetExceeded(DDError):
         self.max_bytes = max_bytes
 
 
+class ConfigError(ReproError):
+    """Raised by :mod:`repro.api` for invalid configuration values.
+
+    The facade validates eagerly (at :class:`~repro.api.SimulatorConfig`
+    construction) so a bad batch specification fails before any worker
+    process is spawned.
+    """
+
+
 class CircuitError(ReproError):
     """Raised for malformed circuits or gate applications."""
 

@@ -8,22 +8,22 @@ Algorithm 2, very few under the GCD scheme whose factorisations leave
 those quantities for any benchmark circuit, plus the numeric
 normalisation variants (leftmost vs largest-magnitude [29]) for
 completeness.
+
+Each scheme is one independent job dispatched through
+:func:`repro.api.run_batch`; the weight-census metrics are recomputed
+in the parent from the job's serialized final state (the serialize
+round-trip is canonical, so the census is exact).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
+from repro.api import RunRequest, SimulatorConfig, run_batch
 from repro.circuits.circuit import Circuit
-from repro.dd.manager import (
-    algebraic_gcd_manager,
-    algebraic_manager,
-    numeric_manager,
-)
 from repro.dd.metrics import collect_metrics
-from repro.sim.simulator import Simulator
+from repro.errors import SimulationError
 
 __all__ = ["AblationRow", "run_normalization_ablation"]
 
@@ -45,6 +45,7 @@ def run_normalization_ablation(
     circuit: Circuit,
     include_gcd: bool = True,
     numeric_eps: float = 1e-12,
+    workers: int = 1,
 ) -> List[AblationRow]:
     """Simulate ``circuit`` under every normalisation scheme.
 
@@ -52,36 +53,41 @@ def run_normalization_ablation(
     Algorithm 3 (GCD, optional -- it is the slow one), numeric leftmost,
     numeric largest-magnitude.
     """
-    configurations = [("algebraic-q (Alg.2)", lambda: algebraic_manager(circuit.num_qubits))]
+    configurations: List[Tuple[str, SimulatorConfig]] = [
+        ("algebraic-q (Alg.2)", SimulatorConfig(system="algebraic"))
+    ]
     if include_gcd:
         configurations.append(
-            ("algebraic-gcd (Alg.3)", lambda: algebraic_gcd_manager(circuit.num_qubits))
+            ("algebraic-gcd (Alg.3)", SimulatorConfig(system="algebraic-gcd"))
         )
     configurations.append(
-        (
-            "numeric leftmost",
-            lambda: numeric_manager(circuit.num_qubits, eps=numeric_eps),
-        )
+        ("numeric leftmost", SimulatorConfig(system="numeric", eps=numeric_eps))
     )
     configurations.append(
         (
             "numeric max-magnitude [29]",
-            lambda: numeric_manager(
-                circuit.num_qubits, eps=numeric_eps, normalization="max-magnitude"
+            SimulatorConfig(
+                system="numeric", eps=numeric_eps, normalization="max-magnitude"
             ),
         )
     )
+    requests = [
+        RunRequest(circuit, config, label=name) for name, config in configurations
+    ]
+    batch = run_batch(requests, workers=workers)
+    if batch.failures:
+        first = batch.failures[0]
+        raise SimulationError(
+            f"ablation job {first.label!r} failed: [{first.error_type}] {first.message}"
+        )
     rows: List[AblationRow] = []
-    for name, factory in configurations:
-        manager = factory()
-        started = time.perf_counter()
-        result = Simulator(manager).run(circuit)
-        elapsed = time.perf_counter() - started
-        metrics = collect_metrics(manager, result.state)
+    for result in batch.completed:
+        manager, state = result.restore_state()
+        metrics = collect_metrics(manager, state)
         rows.append(
             AblationRow(
-                scheme=name,
-                seconds=elapsed,
+                scheme=result.label,
+                seconds=result.seconds,
                 final_nodes=result.trace.final_node_count,
                 peak_nodes=result.trace.peak_node_count,
                 trivial_weight_fraction=metrics.trivial_weight_fraction,

@@ -18,8 +18,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.algorithms.gse import gse_circuit, gse_rotation_circuit
-from repro.dd.manager import algebraic_manager
-from repro.sim.simulator import Simulator
+from repro.api import SimulatorConfig
 from repro.sim.statevector import StatevectorSimulator
 
 __all__ = ["BudgetRow", "approximation_budget_sweep"]
@@ -51,9 +50,11 @@ def approximation_budget_sweep(
             num_sites=num_sites, precision_bits=precision_bits, max_words=budget
         )
         started = time.perf_counter()
-        result = Simulator(
-            algebraic_manager(compiled.num_qubits), record_bit_widths=True
-        ).run(compiled)
+        result = (
+            SimulatorConfig(system="algebraic", record_bit_widths=True)
+            .create_simulator(compiled.num_qubits)
+            .run(compiled)
+        )
         seconds = time.perf_counter() - started
         compiled_state = result.final_amplitudes()
         overlap = float(abs(np.vdot(ideal_state, compiled_state)))

@@ -41,6 +41,7 @@ def fig3_grover(
     iterations: Optional[int] = None,
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     scale: str = "default",
+    workers: int = 1,
 ) -> TradeoffResult:
     """Fig. 3: Grover's algorithm -- size / error / run-time per gate."""
     if scale == "paper":
@@ -48,7 +49,7 @@ def fig3_grover(
     if marked is None:
         marked = (1 << num_qubits) * 2 // 3  # arbitrary fixed element
     circuit = grover_circuit(num_qubits, marked, iterations=iterations)
-    return run_tradeoff(circuit, epsilons=epsilons)
+    return run_tradeoff(circuit, epsilons=epsilons, workers=workers)
 
 
 def fig4_bwt(
@@ -57,12 +58,13 @@ def fig4_bwt(
     seed: int = 0,
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     scale: str = "default",
+    workers: int = 1,
 ) -> TradeoffResult:
     """Fig. 4: the Binary Welded Tree walk."""
     if scale == "paper":
         depth, steps = 4, 20
     circuit = bwt_circuit(depth=depth, steps=steps, seed=seed)
-    return run_tradeoff(circuit, epsilons=epsilons)
+    return run_tradeoff(circuit, epsilons=epsilons, workers=workers)
 
 
 def fig5_gse(
@@ -72,6 +74,7 @@ def fig5_gse(
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     max_words: int = 8000,
     scale: str = "default",
+    workers: int = 1,
 ) -> TradeoffResult:
     """Fig. 5: GSE (Clifford+T compiled) -- includes the bit-width
     series explaining the algebraic overhead (Section V-B)."""
@@ -83,7 +86,7 @@ def fig5_gse(
         time=time,
         max_words=max_words,
     )
-    return run_tradeoff(circuit, epsilons=epsilons, record_bit_widths=True)
+    return run_tradeoff(circuit, epsilons=epsilons, record_bit_widths=True, workers=workers)
 
 
 def fig2_gse_size(
@@ -93,6 +96,7 @@ def fig2_gse_size(
     epsilons: Sequence[float] = FIG2_EPSILONS,
     max_words: int = 8000,
     scale: str = "default",
+    workers: int = 1,
 ) -> TradeoffResult:
     """Fig. 2: QMDD size while simulating GSE, per tolerance value.
 
@@ -108,7 +112,7 @@ def fig2_gse_size(
         time=time,
         max_words=max_words,
     )
-    return run_tradeoff(circuit, epsilons=epsilons, compute_errors=True)
+    return run_tradeoff(circuit, epsilons=epsilons, compute_errors=True, workers=workers)
 
 
 def shape_checks(result: TradeoffResult) -> Dict[str, bool]:

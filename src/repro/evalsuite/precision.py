@@ -16,10 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.api import SimulatorConfig, make_simulator
 from repro.circuits.circuit import Circuit
-from repro.dd.manager import algebraic_manager, numeric_manager
 from repro.sim.accuracy import state_error
-from repro.sim.simulator import Simulator
 
 __all__ = ["PrecisionRow", "precision_floor_experiment"]
 
@@ -40,16 +39,21 @@ def precision_floor_experiment(
     eps: float = 0.0,
 ) -> List[PrecisionRow]:
     """Per-precision error floors against the exact algebraic result."""
-    reference_manager = algebraic_manager(circuit.num_qubits)
+    reference_manager = SimulatorConfig(system="algebraic").create_manager(
+        circuit.num_qubits
+    )
     reference_states = []
-    Simulator(reference_manager).run(
+    make_simulator(reference_manager).run(
         circuit, step_callback=lambda _i, s: reference_states.append(s)
     )
     rows: List[PrecisionRow] = []
     for precision in precisions:
-        manager = numeric_manager(circuit.num_qubits, eps=eps, precision=precision)
+        config = SimulatorConfig(system="numeric", eps=eps, precision=precision)
+        manager = config.create_manager(circuit.num_qubits)
         states = []
-        Simulator(manager).run(circuit, step_callback=lambda _i, s: states.append(s))
+        make_simulator(manager, config).run(
+            circuit, step_callback=lambda _i, s: states.append(s)
+        )
         errors = [
             state_error(
                 manager.to_statevector(state),

@@ -7,17 +7,20 @@ missed redundancies make the DD grow with the state space.  For Grover
 the exact state is a two-valued vector, so the algebraic DD grows
 *linearly* with the qubit count while the ``eps = 0`` DD grows
 *exponentially*.
+
+Every (qubit count, representation) pair is an independent job, so the
+whole grid dispatches through :func:`repro.api.run_batch` and scales
+across worker processes.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.algorithms.grover import grover_circuit
-from repro.dd.manager import algebraic_manager, numeric_manager
-from repro.sim.simulator import Simulator
+from repro.api import RunRequest, SimulatorConfig, run_batch
+from repro.errors import SimulationError
 
 __all__ = ["ScalingRow", "grover_scaling"]
 
@@ -34,25 +37,40 @@ class ScalingRow:
     eps0_seconds: float
 
 
-def grover_scaling(qubit_range: Sequence[int] = (4, 5, 6, 7, 8)) -> List[ScalingRow]:
+def grover_scaling(
+    qubit_range: Sequence[int] = (4, 5, 6, 7, 8), workers: int = 1
+) -> List[ScalingRow]:
     """Peak node counts of algebraic vs ``eps = 0`` Grover runs."""
-    rows: List[ScalingRow] = []
+    requests: List[RunRequest] = []
     for num_qubits in qubit_range:
         circuit = grover_circuit(num_qubits, (1 << num_qubits) * 2 // 3)
-        started = time.perf_counter()
-        algebraic = Simulator(algebraic_manager(num_qubits)).run(circuit)
-        algebraic_seconds = time.perf_counter() - started
-        started = time.perf_counter()
-        numeric = Simulator(numeric_manager(num_qubits, eps=0.0)).run(circuit)
-        eps0_seconds = time.perf_counter() - started
+        requests.append(
+            RunRequest(circuit, SimulatorConfig(system="algebraic"), label=f"alg/{num_qubits}")
+        )
+        requests.append(
+            RunRequest(
+                circuit,
+                SimulatorConfig(system="numeric", eps=0.0),
+                label=f"eps0/{num_qubits}",
+            )
+        )
+    batch = run_batch(requests, workers=workers)
+    if batch.failures:
+        first = batch.failures[0]
+        raise SimulationError(
+            f"scaling job {first.label!r} failed: [{first.error_type}] {first.message}"
+        )
+    rows: List[ScalingRow] = []
+    for algebraic, numeric in zip(batch.results[::2], batch.results[1::2]):
+        assert algebraic is not None and numeric is not None
         rows.append(
             ScalingRow(
-                num_qubits=num_qubits,
-                num_gates=len(circuit),
+                num_qubits=algebraic.num_qubits,
+                num_gates=algebraic.num_gates,
                 algebraic_peak=algebraic.trace.peak_node_count,
                 eps0_peak=numeric.trace.peak_node_count,
-                algebraic_seconds=algebraic_seconds,
-                eps0_seconds=eps0_seconds,
+                algebraic_seconds=algebraic.seconds,
+                eps0_seconds=numeric.seconds,
             )
         )
     return rows

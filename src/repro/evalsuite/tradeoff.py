@@ -18,19 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import RunRequest, SimulatorConfig, run_batch
 from repro.circuits.circuit import Circuit
-from repro.dd.edge import Edge
-from repro.dd.manager import (
-    DDManager,
-    algebraic_gcd_manager,
-    algebraic_manager,
-    numeric_manager,
-)
-from repro.sim.accuracy import state_error
-from repro.sim.simulator import Simulator
+from repro.errors import SimulationError
 from repro.sim.trace import SimulationTrace
 
-__all__ = ["TradeoffResult", "run_tradeoff", "DEFAULT_EPSILONS"]
+__all__ = ["TradeoffResult", "run_tradeoff", "tradeoff_requests", "DEFAULT_EPSILONS"]
 
 #: The tolerance sweep of the paper's Figs. 3-5.
 DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3)
@@ -88,6 +81,62 @@ class TradeoffResult:
         return rows
 
 
+def tradeoff_requests(
+    circuit: Circuit,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    include_algebraic: bool = True,
+    include_gcd: bool = False,
+    compute_errors: bool = True,
+    record_bit_widths: bool = False,
+    numeric_normalization: str = "leftmost",
+    max_dense_qubits: int = 16,
+) -> List[RunRequest]:
+    """The sweep as a list of independent :class:`~repro.api.RunRequest`.
+
+    Each numeric job carries the exact algebraic configuration as its
+    ``error_reference``, so workers compute the footnote-8 error series
+    locally -- identical values regardless of worker count, because the
+    algebraic reference is exact.
+    """
+    want_errors = compute_errors and circuit.num_qubits <= max_dense_qubits
+    reference = (
+        SimulatorConfig(system="algebraic")
+        if want_errors and include_algebraic
+        else None
+    )
+    requests: List[RunRequest] = []
+    if include_algebraic:
+        requests.append(
+            RunRequest(
+                circuit,
+                SimulatorConfig(system="algebraic", record_bit_widths=record_bit_widths),
+                label="algebraic",
+            )
+        )
+    if include_gcd:
+        requests.append(
+            RunRequest(
+                circuit,
+                SimulatorConfig(
+                    system="algebraic-gcd", record_bit_widths=record_bit_widths
+                ),
+                label="algebraic-gcd",
+            )
+        )
+    for eps in epsilons:
+        requests.append(
+            RunRequest(
+                circuit,
+                SimulatorConfig(
+                    system="numeric", eps=eps, normalization=numeric_normalization
+                ),
+                label=f"eps={eps:g}",
+                error_reference=reference,
+            )
+        )
+    return requests
+
+
 def run_tradeoff(
     circuit: Circuit,
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
@@ -97,70 +146,42 @@ def run_tradeoff(
     record_bit_widths: bool = False,
     numeric_normalization: str = "leftmost",
     max_dense_qubits: int = 16,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> TradeoffResult:
     """Run the full sweep on one circuit.
 
     ``compute_errors`` needs the dense statevectors (bounded by
     ``max_dense_qubits``); disable it for size-only experiments like
     Fig. 2.  ``include_gcd`` adds the (slower) Algorithm-3 run used by
-    the normalisation ablation.
+    the normalisation ablation.  The sweep points are independent jobs
+    dispatched through :func:`repro.api.run_batch`; ``workers > 1``
+    fans them out over a process pool with byte-identical results.
     """
+    requests = tradeoff_requests(
+        circuit,
+        epsilons=epsilons,
+        include_algebraic=include_algebraic,
+        include_gcd=include_gcd,
+        compute_errors=compute_errors,
+        record_bit_widths=record_bit_widths,
+        numeric_normalization=numeric_normalization,
+        max_dense_qubits=max_dense_qubits,
+    )
+    batch = run_batch(requests, workers=workers, timeout=timeout, retries=retries)
+    if batch.failures:
+        first = batch.failures[0]
+        raise SimulationError(
+            f"tradeoff job {first.label!r} failed after {first.attempts} "
+            f"attempt(s): [{first.error_type}] {first.message}"
+        )
     result = TradeoffResult(
         circuit_name=circuit.name,
         num_qubits=circuit.num_qubits,
         num_gates=len(circuit),
     )
-    want_errors = compute_errors and circuit.num_qubits <= max_dense_qubits
-
-    algebraic_states: List[Edge] = []
-    algebraic_mgr: Optional[DDManager] = None
-    if include_algebraic:
-        algebraic_mgr = algebraic_manager(circuit.num_qubits)
-        simulator = Simulator(algebraic_mgr, record_bit_widths=record_bit_widths)
-        callback = (lambda _i, s: algebraic_states.append(s)) if want_errors else None
-        run = simulator.run(circuit, step_callback=callback)
-        result.traces["algebraic"] = run.trace
-        result.final_zero["algebraic"] = run.is_zero_state
-
-    if include_gcd:
-        gcd_mgr = algebraic_gcd_manager(circuit.num_qubits)
-        run = Simulator(gcd_mgr, record_bit_widths=record_bit_widths).run(circuit)
-        result.traces["algebraic-gcd"] = run.trace
-        result.final_zero["algebraic-gcd"] = run.is_zero_state
-
-    numeric_states: Dict[str, List[Edge]] = {}
-    numeric_mgrs: Dict[str, DDManager] = {}
-    for eps in epsilons:
-        config = f"eps={eps:g}"
-        manager = numeric_manager(
-            circuit.num_qubits, eps=eps, normalization=numeric_normalization
-        )
-        numeric_mgrs[config] = manager
-        states: List[Edge] = []
-        callback = (lambda _i, s, _states=states: _states.append(s)) if want_errors else None
-        run = Simulator(manager).run(circuit, step_callback=callback)
-        result.traces[config] = run.trace
-        result.final_zero[config] = run.is_zero_state
-        numeric_states[config] = states
-
-    if want_errors and include_algebraic:
-        _fill_errors(result, algebraic_mgr, algebraic_states, numeric_mgrs, numeric_states)
+    for job in batch.completed:
+        result.traces[job.label] = job.trace
+        result.final_zero[job.label] = job.is_zero_state
     return result
-
-
-def _fill_errors(
-    result: TradeoffResult,
-    algebraic_mgr: DDManager,
-    algebraic_states: List[Edge],
-    numeric_mgrs: Dict[str, DDManager],
-    numeric_states: Dict[str, List[Edge]],
-) -> None:
-    """Per-gate footnote-8 errors, streamed step by step to bound memory."""
-    per_config_errors: Dict[str, List[float]] = {config: [] for config in numeric_states}
-    for step_index, algebraic_state in enumerate(algebraic_states):
-        reference = algebraic_mgr.to_statevector(algebraic_state)
-        for config, states in numeric_states.items():
-            numeric_vec = numeric_mgrs[config].to_statevector(states[step_index])
-            per_config_errors[config].append(state_error(numeric_vec, reference))
-    for config, errors in per_config_errors.items():
-        result.traces[config] = result.traces[config].with_errors(errors)

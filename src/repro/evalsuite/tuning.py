@@ -25,10 +25,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import RunRequest, RunResult, SimulatorConfig, run, run_batch
 from repro.circuits.circuit import Circuit
-from repro.dd.manager import algebraic_manager, numeric_manager
+from repro.errors import SimulationError
 from repro.sim.accuracy import state_error
-from repro.sim.simulator import Simulator
 
 __all__ = ["TuningTrial", "TuningReport", "tune_epsilon", "error_growth"]
 
@@ -70,12 +70,31 @@ class TuningReport:
         return len(self.trials)
 
 
+def _trial_from_result(
+    result: RunResult,
+    reference_vector: np.ndarray,
+    error_target: float,
+    node_budget: int,
+) -> TuningTrial:
+    manager, state = result.restore_state()
+    error = state_error(manager.to_statevector(state), reference_vector)
+    return TuningTrial(
+        eps=result.config.eps,
+        final_error=error,
+        peak_nodes=result.trace.peak_node_count,
+        seconds=result.seconds,
+        meets_accuracy=error <= error_target,
+        meets_compactness=result.trace.peak_node_count <= node_budget,
+    )
+
+
 def tune_epsilon(
     circuit: Circuit,
     error_target: float = 1e-6,
     node_budget: Optional[int] = None,
     grid: Sequence[float] = DEFAULT_GRID,
     stop_at_first: bool = True,
+    workers: int = 1,
 ) -> TuningReport:
     """Search the tolerance grid for an ``eps`` meeting both targets.
 
@@ -83,38 +102,57 @@ def tune_epsilon(
     "be roughly as compact as the exact representation").  Every trial
     is a *complete* simulation -- that is the point: the fine-tuning the
     paper criticises costs one full run per candidate.
+
+    With ``workers=1`` (default) candidates are tried in grid order and
+    the search stops at the first success (when ``stop_at_first``).
+    With ``workers>1`` the whole grid is dispatched at once through
+    :func:`repro.api.run_batch` -- more total work, less wall-clock --
+    and ``chosen_eps`` is still the first grid entry meeting both
+    targets.
     """
-    reference_manager = algebraic_manager(circuit.num_qubits)
-    reference_states: List[np.ndarray] = []
-    reference_run = Simulator(reference_manager).run(circuit)
-    reference_vector = reference_manager.to_statevector(reference_run.state)
+    reference = run(RunRequest(circuit, SimulatorConfig(system="algebraic")))
+    reference_manager, reference_state = reference.restore_state()
+    reference_vector = reference_manager.to_statevector(reference_state)
     if node_budget is None:
-        node_budget = 2 * reference_run.trace.peak_node_count
+        node_budget = 2 * reference.trace.peak_node_count
     report = TuningReport(
         circuit_name=circuit.name,
         error_target=error_target,
         node_budget=node_budget,
     )
     started = time.perf_counter()
-    for eps in grid:
-        manager = numeric_manager(circuit.num_qubits, eps=eps)
-        trial_started = time.perf_counter()
-        run = Simulator(manager).run(circuit)
-        seconds = time.perf_counter() - trial_started
-        error = state_error(manager.to_statevector(run.state), reference_vector)
-        trial = TuningTrial(
-            eps=eps,
-            final_error=error,
-            peak_nodes=run.trace.peak_node_count,
-            seconds=seconds,
-            meets_accuracy=error <= error_target,
-            meets_compactness=run.trace.peak_node_count <= node_budget,
-        )
-        report.trials.append(trial)
-        if trial.meets_accuracy and trial.meets_compactness:
-            report.chosen_eps = eps
-            if stop_at_first:
-                break
+    if workers <= 1:
+        for eps in grid:
+            result = run(
+                RunRequest(circuit, SimulatorConfig(system="numeric", eps=eps))
+            )
+            trial = _trial_from_result(result, reference_vector, error_target, node_budget)
+            report.trials.append(trial)
+            if trial.meets_accuracy and trial.meets_compactness:
+                report.chosen_eps = eps
+                if stop_at_first:
+                    break
+    else:
+        requests = [
+            RunRequest(circuit, SimulatorConfig(system="numeric", eps=eps))
+            for eps in grid
+        ]
+        batch = run_batch(requests, workers=workers)
+        if batch.failures:
+            first = batch.failures[0]
+            raise SimulationError(
+                f"tuning trial {first.label!r} failed: "
+                f"[{first.error_type}] {first.message}"
+            )
+        for result in batch.completed:
+            trial = _trial_from_result(result, reference_vector, error_target, node_budget)
+            report.trials.append(trial)
+            if (
+                report.chosen_eps is None
+                and trial.meets_accuracy
+                and trial.meets_compactness
+            ):
+                report.chosen_eps = trial.eps
     report.total_seconds = time.perf_counter() - started
     return report
 

@@ -43,6 +43,7 @@ from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
+    merge_snapshots,
 )
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
@@ -64,6 +65,7 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "merge_snapshots",
 ]
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "merge_snapshots",
 ]
 
 MetricValue = Union[int, float]
@@ -267,3 +268,73 @@ class MetricsRegistry:
     def value(self, name: str, default: Optional[Any] = None) -> Any:
         """One name out of a fresh :meth:`snapshot` (convenience)."""
         return self.snapshot().get(name, default)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process snapshot merging (the batch engine's fleet view)
+# ---------------------------------------------------------------------------
+
+#: Instrument-name suffixes whose values are point-in-time / high-water
+#: readings (gauges and collector-reported table sizes).  Merging
+#: snapshots from independent jobs takes their **max** -- summing a
+#: "current table size" across processes is meaningless.  Everything
+#: else in the dotted namespace is a monotonic count and **sums**.
+GAUGE_MERGE_SUFFIXES: Tuple[str, ...] = (
+    ".size",
+    ".nodes",
+    ".peak_nodes",
+    ".max_bit_width",
+    ".bit_width",
+    ".threshold",
+    ".capacity",
+)
+
+
+def _merges_as_max(name: str) -> bool:
+    return name.endswith(GAUGE_MERGE_SUFFIXES)
+
+
+def _merge_histogram(
+    accumulated: Dict[str, Any], incoming: Mapping[str, Any]
+) -> Dict[str, Any]:
+    count = accumulated.get("count", 0) + incoming.get("count", 0)
+    total = accumulated.get("sum", 0.0) + incoming.get("sum", 0.0)
+    buckets: Dict[str, MetricValue] = dict(accumulated.get("buckets", {}))
+    for bound, bucket_count in incoming.get("buckets", {}).items():
+        buckets[bound] = buckets.get(bound, 0) + bucket_count
+    return {
+        "count": count,
+        "sum": total,
+        "mean": (total / count) if count else 0.0,
+        "buckets": buckets,
+    }
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge per-job :meth:`MetricsRegistry.snapshot` dicts fleet-wide.
+
+    Used by the batch-execution engine (:mod:`repro.exec`) to aggregate
+    the ``sim.*`` / ``dd.*`` telemetry that worker processes ship home
+    with each job.  Merge semantics per value shape:
+
+    * histogram statistics dicts merge bucket-wise (counts and sums
+      add; the mean is recomputed);
+    * names ending in one of :data:`GAUGE_MERGE_SUFFIXES` are treated
+      as high-water/point-in-time readings and merge by ``max``;
+    * every other numeric value is a monotonic count and merges by sum.
+
+    The result is itself snapshot-shaped, so reporting helpers
+    (``render_metrics``, hit-rate tables) work on it unchanged.
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if isinstance(value, Mapping):
+                merged[name] = _merge_histogram(merged.get(name, {}), value)
+            elif name not in merged:
+                merged[name] = value
+            elif _merges_as_max(name):
+                merged[name] = max(merged[name], value)
+            else:
+                merged[name] = merged[name] + value
+    return merged

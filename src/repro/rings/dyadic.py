@@ -46,6 +46,10 @@ class Dyadic:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Dyadic instances are immutable")
 
+    def __reduce__(self) -> "tuple[type, tuple[int, int]]":
+        # Pickle via the constructor (canonical form round-trips).
+        return (type(self), (self.numerator, self.exponent))
+
     # -- constructors ----------------------------------------------------
 
     @classmethod

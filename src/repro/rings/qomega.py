@@ -81,6 +81,10 @@ class QOmega:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("QOmega instances are immutable")
 
+    def __reduce__(self) -> "tuple[type, tuple[ZOmega, int, int]]":
+        # Pickle via the constructor (the canonical form round-trips).
+        return (type(self), (self.zeta, self.k, self.e))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -71,6 +71,11 @@ class ZOmega:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("ZOmega instances are immutable")
 
+    def __reduce__(self) -> "tuple[type, tuple[int, int, int, int]]":
+        # Pickle via the constructor: the immutability guard in
+        # __setattr__ rejects the default slot-restoring protocol.
+        return (type(self), (self.a, self.b, self.c, self.d))
+
     # ------------------------------------------------------------------
     # Constructors for distinguished elements
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ representations is a one-argument change::
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -120,6 +121,14 @@ class Simulator:
         :class:`SimulationResult`).  A configured budget raises
         :class:`~repro.errors.MemoryBudgetExceeded` mid-run when the
         live state cannot fit.
+    config:
+        A :class:`repro.api.SimulatorConfig` supplying
+        ``record_bit_widths`` / ``use_apply_kernel`` / ``sanitize`` /
+        ``gc`` in one typed object.  This is the supported construction
+        path (:mod:`repro.api` is the facade); passing the loose
+        keyword arguments above instead is **deprecated** and emits a
+        :class:`DeprecationWarning`.  ``config`` and loose kwargs are
+        mutually exclusive.
     """
 
     def __init__(
@@ -130,7 +139,35 @@ class Simulator:
         sanitize: "SanitizerMode | str | bool | None" = None,
         telemetry: Optional[Telemetry] = None,
         gc: "Any | None" = None,
+        config: "Any | None" = None,
     ) -> None:
+        loose = (
+            record_bit_widths is not False
+            or use_apply_kernel is not True
+            or sanitize is not None
+            or gc is not None
+        )
+        if config is not None:
+            # Duck-typed to avoid the repro.api import cycle; any object
+            # with the SimulatorConfig fields works.
+            if loose:
+                raise SimulationError(
+                    "pass either config= or the loose Simulator keyword "
+                    "arguments, not both"
+                )
+            record_bit_widths = config.record_bit_widths
+            use_apply_kernel = config.use_apply_kernel
+            sanitize = None if config.sanitize == "off" else config.sanitize
+            gc = config.memory_config()
+        elif loose:
+            warnings.warn(
+                "loose Simulator keyword arguments (record_bit_widths, "
+                "use_apply_kernel, sanitize, gc) are deprecated; build a "
+                "repro.api.SimulatorConfig and pass config=..., or go "
+                "through repro.api.run / run_batch",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.manager = manager
         self.record_bit_widths = record_bit_widths
         self.use_apply_kernel = use_apply_kernel

@@ -23,7 +23,7 @@ from repro.circuits.circuit import Circuit
 from repro.dd.edge import Edge
 from repro.dd.manager import DDManager, algebraic_manager
 from repro.errors import CircuitError
-from repro.sim.simulator import Simulator
+from repro.api import make_simulator
 
 __all__ = [
     "EquivalenceResult",
@@ -65,7 +65,7 @@ def check_equivalence(
         raise CircuitError("cannot compare circuits of different width")
     if manager is None:
         manager = algebraic_manager(first.num_qubits)
-    simulator = Simulator(manager)
+    simulator = make_simulator(manager)
     unitary_first = simulator.unitary(first)
     unitary_second = simulator.unitary(second)
     if manager.edges_equal(unitary_first, unitary_second):
@@ -103,7 +103,7 @@ def check_equivalence_miter(
         raise CircuitError("cannot compare circuits of different width")
     if manager is None:
         manager = algebraic_manager(first.num_qubits)
-    simulator = Simulator(manager)
+    simulator = make_simulator(manager)
     product = manager.mat_mat(
         simulator.unitary(first), manager.adjoint(simulator.unitary(second))
     )
@@ -135,7 +135,7 @@ def find_counterexample(
         raise CircuitError("cannot compare circuits of different width")
     if manager is None:
         manager = algebraic_manager(first.num_qubits)
-    simulator = Simulator(manager)
+    simulator = make_simulator(manager)
     difference = manager.add(
         simulator.unitary(first),
         manager.scale(simulator.unitary(second), manager.system.neg(manager.system.one)),
@@ -175,7 +175,7 @@ def check_state_equivalence(
         raise CircuitError("cannot compare circuits of different width")
     if manager is None:
         manager = algebraic_manager(first.num_qubits)
-    simulator = Simulator(manager)
+    simulator = make_simulator(manager)
     start = initial_state if initial_state is not None else manager.zero_state()
     state_first = simulator.run(first, initial_state=start).state
     state_second = simulator.run(second, initial_state=start).state

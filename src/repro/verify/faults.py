@@ -24,7 +24,7 @@ from repro.circuits.circuit import Circuit, Operation
 from repro.circuits.gates import STANDARD_GATES, TDG, X, Z
 from repro.dd.manager import DDManager, algebraic_manager
 from repro.errors import CircuitError
-from repro.sim.simulator import Simulator
+from repro.api import make_simulator
 
 __all__ = ["Fault", "inject_fault", "enumerate_single_faults", "locate_fault"]
 
@@ -150,7 +150,7 @@ def locate_fault(
         )
     if manager is None:
         manager = algebraic_manager(reference.num_qubits)
-    simulator = Simulator(manager)
+    simulator = make_simulator(manager)
 
     def prefix_unitary(circuit: Circuit, length: int):
         partial = Circuit(circuit.num_qubits)

@@ -111,3 +111,55 @@ class TestValidation:
         state = manager.vector_from_weights([manager.system.one, big])
         restored = loads(manager, dumps(manager, state))
         assert manager.edges_equal(restored, state)
+
+
+def _serialize_in_subprocess(system: str) -> str:
+    """Simulate + serialize inside a worker process; return the document."""
+    import multiprocessing
+
+    with multiprocessing.Pool(1) as pool:
+        return pool.apply(_subprocess_payload, (system,))
+
+
+def _subprocess_payload(system: str) -> str:
+    factory = {
+        "algebraic": algebraic_manager,
+        "algebraic-gcd": algebraic_gcd_manager,
+    }.get(system)
+    manager = factory(3) if factory else numeric_manager(3, eps=1e-10)
+    circuit = Circuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.t(1)
+    circuit.cx(1, 2)
+    state = Simulator(manager).run(circuit).state
+    return dumps(manager, state)
+
+
+class TestCrossProcess:
+    """Documents serialized in one process must load in another.
+
+    The format references no weight-table ids or process-local state;
+    ``loads`` re-interns everything through the destination manager's
+    own unique/weight tables.  This is the transport contract of the
+    batch-execution engine (repro.exec).
+    """
+
+    @pytest.mark.parametrize("system", ["algebraic", "algebraic-gcd", "numeric"])
+    def test_subprocess_document_loads_in_parent(self, system):
+        payload = _serialize_in_subprocess(system)
+        factory = {
+            "algebraic": algebraic_manager,
+            "algebraic-gcd": algebraic_gcd_manager,
+        }.get(system)
+        manager = factory(3) if factory else numeric_manager(3, eps=1e-10)
+        restored = loads(manager, payload)
+        # The parent-side document of the same simulation is identical.
+        circuit = Circuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.t(1)
+        circuit.cx(1, 2)
+        local = Simulator(manager).run(circuit).state
+        assert manager.edges_equal(restored, local)
+        assert dumps(manager, restored) == payload

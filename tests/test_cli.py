@@ -36,6 +36,52 @@ class TestSimulate:
         assert code == 0
 
 
+class TestBatch:
+    def test_batch_sweep_with_report(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "batch.json"
+        code = main(
+            ["batch", "--algorithm", "grover", "--qubits", "3",
+             "--workers", "2", "--report", str(report)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 worker(s)" in output
+        assert "fleet-merged telemetry" in output
+        document = json.loads(report.read_text())
+        assert document["failed"] == 0
+        assert document["workers"] == 2
+        assert document["metrics"]["exec.batch.jobs"] == document["jobs"]
+        labels = [job["label"] for job in document["results"]]
+        assert "algebraic" in labels and "eps=0" in labels
+        for job in document["results"]:
+            assert job["state_payload"]
+            assert job["metrics"]
+
+    def test_batch_custom_epsilons(self, capsys):
+        code = main(
+            ["batch", "--algorithm", "grover", "--qubits", "3",
+             "--epsilons", "0,1e-8"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "eps=1e-08" in output
+
+    def test_shared_flags_spelled_identically(self):
+        # Satellite guarantee: the config flags parse on every
+        # sweep-capable subcommand with the same spelling.
+        from repro.cli import _config_parents
+
+        _, config_parent = _config_parents()
+        args = config_parent.parse_args([])
+        assert args.system == "algebraic"
+        assert args.eps == 0.0
+        assert args.gc is None
+        assert args.sanitize == "off"
+        assert args.workers == 1
+
+
 class TestTradeoff:
     def test_small_grover_sweep(self, capsys):
         # n = 6 gives ~200 gates -- enough for the eps = 1e-3 corruption

@@ -54,6 +54,16 @@ codebase has to protect canonicity:
     the memory manager); only ``repro/dd/unique_table.py`` and
     ``repro/dd/mem.py`` may touch the internals.
 
+``RL008`` -- **no direct ``Simulator(...)`` construction outside the
+    facade.**
+    :mod:`repro.api` is the single construction path: a
+    ``SimulatorConfig`` validates eagerly, wires the sanitizer/GC/
+    telemetry consistently, and keeps jobs picklable for the batch
+    engine.  A hand-built ``Simulator(manager, gc=..., sanitize=...)``
+    re-opens the loose-kwarg surface the facade deprecates.  Only
+    ``repro/api.py`` may call the constructor; tests and benchmarks
+    (outside ``repro/``) are exempt by scope.
+
 Suppression: append ``# repro-lint: allow[RL00X]`` (comma-separated
 codes allowed) to the offending line.
 
@@ -450,6 +460,38 @@ def _rl007_check(tree: ast.AST, path: str) -> Iterator[Finding]:
         )
 
 
+# ---------------------------------------------------------------------------
+# RL008: Simulator construction is the facade's privilege
+# ---------------------------------------------------------------------------
+
+
+def _rl008_applies(path: str) -> bool:
+    return _in_repro(path) and not _posix(path).endswith("repro/api.py")
+
+
+def _rl008_check(tree: ast.AST, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "Simulator":
+            yield Finding(
+                "RL008",
+                path,
+                node.lineno,
+                node.col_offset,
+                "direct Simulator(...) construction outside repro.api; "
+                "build a SimulatorConfig and go through repro.api "
+                "(run / run_batch / make_simulator / "
+                "SimulatorConfig.create_simulator)",
+            )
+
+
 RULES: Tuple[Rule, ...] = (
     Rule("RL001", "Node() outside the unique table", _rl001_applies, _rl001_check),
     Rule("RL002", "float/math leakage into exact rings", _in_rings, _rl002_check),
@@ -467,6 +509,12 @@ RULES: Tuple[Rule, ...] = (
         "unique-table internals accessed outside the lifecycle layer",
         _rl007_applies,
         _rl007_check,
+    ),
+    Rule(
+        "RL008",
+        "Simulator() construction outside the repro.api facade",
+        _rl008_applies,
+        _rl008_check,
     ),
 )
 
