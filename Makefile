@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean lint typecheck sanitize-smoke gc-smoke batch-smoke
+.PHONY: install test bench figures examples clean lint lint-baseline typecheck sanitize-smoke gc-smoke batch-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,16 +10,26 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Project-specific static analysis (RL001-RL007; see tools/repro_lint).
+# Project-specific static analysis (RL001-RL013; see
+# docs/STATIC_ANALYSIS.md).  Incremental (.repro_lint_cache.json) and
+# parallel; fails on any non-baselined finding.
 lint:
-	$(PYTHON) -m tools.repro_lint src/repro
+	$(PYTHON) -m tools.repro_lint src tools --jobs auto
 
-# mypy --strict over the canonical core (config in pyproject.toml).
-# Skips gracefully when mypy is not installed (it is not a runtime or
-# test dependency); CI installs it for the typecheck job.
+# Deliberately re-capture the accepted-findings baseline.  Never run
+# implicitly: review the resulting .repro_lint_baseline.json diff like
+# code (every entry carries a justification).
+lint-baseline:
+	$(PYTHON) -m tools.repro_lint src tools --jobs auto --write-baseline
+
+# mypy --strict over the canonical core plus the observability and
+# batch-execution layers (config in pyproject.toml).  Skips gracefully
+# when mypy is not installed (it is not a runtime or test dependency);
+# CI installs it for the typecheck job.
 typecheck:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 	    && MYPYPATH=src $(PYTHON) -m mypy -p repro.rings -p repro.dd \
+	        -p repro.obs -p repro.exec \
 	    || echo "mypy not installed; skipping (pip install mypy to run locally)"
 
 # Fast end-to-end sanitizer run: simulate under check-every-op and fail
@@ -65,4 +75,5 @@ examples:
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .hypothesis
+	rm -f .repro_lint_cache.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -49,7 +49,19 @@ audits the stored refcounts against a full reachability recount via
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.dd.edge import REF_SATURATION, Edge, Node
 from repro.errors import DDError, MemoryBudgetExceeded
@@ -340,6 +352,21 @@ class MemoryManager:
         if 0 < count < REF_SATURATION:
             node.ref = count - 1
 
+    @contextmanager
+    def protecting(self, edge: Edge) -> Iterator[Edge]:
+        """Scoped root registration: ``with memory.protecting(edge):``.
+
+        Registers ``edge`` on entry and releases it on exit (including
+        on exceptions), so ad-hoc callers -- benchmarks, sanitizer
+        probes, tests poking at intermediate states -- get balanced
+        inc_ref/dec_ref without writing the try/finally themselves.
+        """
+        self.inc_ref(edge)
+        try:
+            yield edge
+        finally:
+            self.dec_ref(edge)
+
     def pin(self, edge: Edge) -> None:
         """Permanently protect ``edge`` from collection (idempotent).
 
@@ -495,21 +522,28 @@ class MemoryManager:
         """
         nodes = self.node_count
         if nodes > self.peak_nodes:
-            self.peak_nodes = nodes
+            # peak_nodes is a monotone high-water mark: it records that
+            # the resident set *did* reach this size, so it stays
+            # truthful even if the budget check below raises.
+            self.peak_nodes = nodes  # repro-lint: allow[RL013]
             self._peak_gauge.set_max(nodes)
         config = self.config
         stats: Optional[GcStats] = None
+        grown: Optional[int] = None
         if config.enabled and nodes >= self._threshold:
             stats = self.collect(trigger="threshold")
             if stats.swept_nodes < config.min_yield * max(1, stats.before_nodes):
                 grown = int(self._threshold * config.growth_factor)
                 if config.max_threshold is not None:
                     grown = min(grown, config.max_threshold)
-                if grown > self._threshold:
-                    self._threshold = grown
-                    self._threshold_gauge.set(grown)
         if config.budget is not None:
             stats = self._enforce_budget(stats)
+        # The threshold grows only after the budget check has passed: a
+        # raised MemoryBudgetExceeded must not strand a larger trigger
+        # point that would delay every subsequent collection.
+        if grown is not None and grown > self._threshold:
+            self._threshold = grown
+            self._threshold_gauge.set(grown)
         return stats
 
     def _enforce_budget(self, already: Optional[GcStats]) -> Optional[GcStats]:

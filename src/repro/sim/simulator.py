@@ -347,7 +347,12 @@ class Simulator:
                 step_callback(index, state)
         if sanitizer is not None and not check_every_op:
             sanitizer.check_state(state)
-        return SimulationResult(manager=self.manager, state=state, trace=trace)
+        # The final state's root registration is deliberately retained:
+        # it keeps the returned DD alive across later collections, and
+        # its ownership moves into the result handed to the caller.
+        return SimulationResult(  # repro-lint: transfers-ownership
+            manager=self.manager, state=state, trace=trace
+        )
 
     def apply(self, state: Edge, operation: Operation) -> Edge:
         """Apply a single gate to a state edge (no trace)."""

@@ -1,0 +1,246 @@
+"""Unit tests for the shared analysis core: facts extraction, the
+call-graph builder, the purity summarizer and the doc inventory."""
+
+import ast
+import textwrap
+
+from tools.repro_lint.analysis import (
+    AnalysisContext,
+    CallGraph,
+    DocInventory,
+    extract_facts,
+    summarize_function_purity,
+    summarize_module_purity,
+)
+
+
+def _facts(source, path="src/repro/rings/sample.py"):
+    tree = ast.parse(textwrap.dedent(source))
+    return extract_facts(tree, path, textwrap.dedent(source))
+
+
+class TestFactsExtraction:
+    def test_function_inventory_with_qualnames(self):
+        facts = _facts(
+            """
+            def top():
+                return helper()
+
+            class Ring:
+                def method(self):
+                    def inner():
+                        pass
+                    return inner
+            """
+        )
+        names = {fn.qualname for fn in facts.functions}
+        assert names == {"top", "Ring.method", "Ring.method.inner"}
+
+    def test_calls_and_raises_recorded(self):
+        facts = _facts(
+            """
+            def risky():
+                prepare()
+                raise MemoryBudgetExceeded("over")
+            """
+        )
+        (fn,) = facts.functions
+        assert "prepare" in fn.calls
+        assert "MemoryBudgetExceeded" in fn.raises
+
+    def test_instrument_registrations_recorded(self):
+        facts = _facts(
+            """
+            def wire(registry):
+                a = registry.counter("sim.gates")
+                b = registry.gauge("sim.state.nodes")
+                c = registry.histogram("sim.gate.seconds", buckets=(1,))
+                d = registry.counter(dynamic_name)  # non-literal: skipped
+                return a, b, c, d
+            """
+        )
+        names = {(name, kind) for name, kind, _l, _c in facts.registrations}
+        assert names == {
+            ("sim.gates", "counter"),
+            ("sim.state.nodes", "gauge"),
+            ("sim.gate.seconds", "histogram"),
+        }
+
+    def test_facts_roundtrip_through_dict(self):
+        facts = _facts(
+            """
+            _STATE = {}
+
+            def mutate(values):
+                values.append(1)  # repro-lint: allow[RL010]
+            """
+        )
+        clone = type(facts).from_dict(facts.to_dict())
+        assert clone.path == facts.path
+        assert [fn.to_dict() for fn in clone.functions] == [
+            fn.to_dict() for fn in facts.functions
+        ]
+        assert clone.suppressions == facts.suppressions
+        assert len(clone.module_purity_issues) == 1
+
+
+class TestPuritySummarizer:
+    def _issues(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        fn = tree.body[0]
+        return summarize_function_purity(fn)
+
+    def test_param_item_assignment_is_impure(self):
+        issues = self._issues(
+            """
+            def f(values):
+                values[0] = 1
+            """
+        )
+        assert [issue.kind for issue in issues] == ["param-mutation"]
+
+    def test_mutating_method_call_is_impure(self):
+        issues = self._issues(
+            """
+            def f(values):
+                values.append(1)
+            """
+        )
+        assert [issue.kind for issue in issues] == ["param-mutation"]
+
+    def test_global_decl_is_impure(self):
+        issues = self._issues(
+            """
+            def f(x):
+                global _COUNT
+                _COUNT = x
+            """
+        )
+        assert [issue.kind for issue in issues] == ["global-decl"]
+
+    def test_defensive_copy_is_pure(self):
+        issues = self._issues(
+            """
+            def f(values):
+                values = list(values)
+                values[0] = 1
+                values.append(2)
+                return values
+            """
+        )
+        assert issues == []
+
+    def test_pure_arithmetic_is_pure(self):
+        issues = self._issues(
+            """
+            def f(a, b):
+                return a * b + a
+            """
+        )
+        assert issues == []
+
+    def test_module_dunder_assignments_are_exempt(self):
+        tree = ast.parse("__all__ = ['a']\n_BAD = {}\n")
+        issues = summarize_module_purity(tree)
+        assert len(issues) == 1
+        assert "_BAD" in issues[0].message
+
+
+class TestCallGraph:
+    def test_may_raise_fixpoint_propagates_through_callers(self):
+        facts = _facts(
+            """
+            def raiser():
+                raise MemoryBudgetExceeded("x")
+
+            def middle():
+                return raiser()
+
+            def outer():
+                return middle()
+
+            def unrelated():
+                return 1
+            """,
+            path="src/repro/dd/mem.py",
+        )
+        graph = CallGraph.build([facts])
+        tainted = graph.may_raise("MemoryBudgetExceeded")
+        assert {"raiser", "middle", "outer"} <= tainted
+        assert "unrelated" not in tainted
+
+    def test_cross_file_edges(self):
+        caller = _facts(
+            """
+            def use():
+                return helper()
+            """,
+            path="src/repro/dd/a.py",
+        )
+        callee = _facts(
+            """
+            def helper():
+                raise MemoryBudgetExceeded("x")
+            """,
+            path="src/repro/dd/b.py",
+        )
+        graph = CallGraph.build([caller, callee])
+        assert "use" in graph.may_raise("MemoryBudgetExceeded")
+        assert graph.callers_of("helper") == ["src/repro/dd/a.py::use"]
+
+
+class TestDocInventory:
+    DOC = textwrap.dedent(
+        """
+        | name | kind | meaning |
+        |---|---|---|
+        | `sim.gates` | counter | gates applied |
+        | `a.{x,y}` | gauge | finite alternation |
+        | `b.<left\\|right>.size` | collected | escaped alternation |
+        | `c.<table>.hits` | collected | open wildcard |
+        | `d.first` / `d.second` | gauge / histogram | positional kinds |
+        """
+    )
+
+    def test_finite_patterns_expand(self):
+        inventory = DocInventory.parse(self.DOC)
+        entry = next(e for e in inventory.entries if e.display == "a.{x,y}")
+        assert set(entry.concrete_names) == {"a.x", "a.y"}
+        assert entry.matches("a.x") and not entry.matches("a.z")
+
+    def test_escaped_alternation_expands(self):
+        inventory = DocInventory.parse(self.DOC)
+        entry = next(e for e in inventory.entries if "left" in e.display)
+        assert set(entry.concrete_names) == {"b.left.size", "b.right.size"}
+
+    def test_wildcard_has_no_concrete_names(self):
+        inventory = DocInventory.parse(self.DOC)
+        entry = next(e for e in inventory.entries if "<table>" in e.display)
+        assert entry.concrete_names == ()
+        assert entry.matches("c.apply.hits")
+        assert not entry.matches("c.a.b.hits")  # wildcard spans one segment
+
+    def test_positional_kind_pairing(self):
+        inventory = DocInventory.parse(self.DOC)
+        first = next(e for e in inventory.entries if e.display == "d.first")
+        second = next(e for e in inventory.entries if e.display == "d.second")
+        assert first.kinds == frozenset({"gauge"})
+        assert second.kinds == frozenset({"histogram"})
+
+    def test_push_entries_exclude_collected(self):
+        inventory = DocInventory.parse(self.DOC)
+        displays = {e.display for e in inventory.push_entries()}
+        assert "sim.gates" in displays
+        assert all("b." not in d and "c." not in d for d in displays)
+
+
+class TestAnalysisContext:
+    def test_full_tree_requires_all_sentinels(self):
+        partial = {
+            "src/repro/dd/mem.py": _facts("x = 1", path="src/repro/dd/mem.py"),
+        }
+        assert not AnalysisContext(partial).is_full_tree
+        complete = dict(partial)
+        for path in ("src/repro/sim/simulator.py", "src/repro/exec/batch.py"):
+            complete[path] = _facts("x = 1", path=path)
+        assert AnalysisContext(complete).is_full_tree

@@ -1,0 +1,136 @@
+"""Regression tests for the dataflow rules against the *real* tree.
+
+The acceptance-critical ones: RL009 must catch a seeded refcount-leak
+mutant of ``repro.dd.mem`` (a ``dec_ref`` edited out), and RL011 must
+catch a lambda handed to ``run_batch``.
+"""
+
+import textwrap
+from pathlib import Path
+
+from tools.repro_lint.engine import lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+MEM_PATH = REPO_ROOT / "src" / "repro" / "dd" / "mem.py"
+SIM_PATH = REPO_ROOT / "src" / "repro" / "sim" / "simulator.py"
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestRL009MutantRegression:
+    def test_unmutated_mem_is_clean(self):
+        source = MEM_PATH.read_text(encoding="utf-8")
+        assert lint_source(source, "src/repro/dd/mem.py") == []
+
+    def test_deleting_the_protecting_decref_is_caught(self):
+        source = MEM_PATH.read_text(encoding="utf-8")
+        assert source.count("self.dec_ref(edge)") == 1, (
+            "mutant seeding assumes exactly one dec_ref inside "
+            "MemoryManager.protecting"
+        )
+        mutant = source.replace("self.dec_ref(edge)", "pass")
+        findings = lint_source(mutant, "src/repro/dd/mem.py")
+        assert "RL009" in _rules(findings), "\n".join(map(str, findings))
+        (finding,) = [f for f in findings if f.rule == "RL009"]
+        assert "inc_ref(edge)" in finding.message
+
+    def test_deleting_the_simulator_loop_decref_is_caught(self):
+        source = SIM_PATH.read_text(encoding="utf-8")
+        assert source.count("memory.dec_ref(state)") == 1
+        mutant = source.replace("memory.dec_ref(state)", "pass")
+        findings = lint_source(mutant, "src/repro/sim/simulator.py")
+        assert "RL009" in _rules(findings), "\n".join(map(str, findings))
+
+
+class TestRL009Semantics:
+    def test_try_finally_release_is_balanced(self):
+        source = textwrap.dedent(
+            """
+            def scoped(memory, edge, fn):
+                memory.inc_ref(edge)
+                try:
+                    return fn(edge)
+                finally:
+                    memory.dec_ref(edge)
+            """
+        )
+        assert lint_source(source, "src/repro/dd/roots.py") == []
+
+    def test_branch_leak_is_caught_at_acquisition(self):
+        source = textwrap.dedent(
+            """
+            def leaky(memory, edge, flag):
+                memory.inc_ref(edge)
+                if flag:
+                    raise RuntimeError("bail")
+                memory.dec_ref(edge)
+            """
+        )
+        findings = lint_source(source, "src/repro/dd/roots.py")
+        assert _rules(findings) == ["RL009"]
+        assert findings[0].line == 3  # anchored at the inc_ref
+
+    def test_double_registration_needs_double_release(self):
+        source = textwrap.dedent(
+            """
+            def nested(memory, edge):
+                memory.inc_ref(edge)
+                memory.inc_ref(edge)
+                memory.dec_ref(edge)
+            """
+        )
+        findings = lint_source(source, "src/repro/dd/roots.py")
+        assert _rules(findings) == ["RL009"]
+
+
+class TestRL011RunBatch:
+    def test_lambda_passed_to_run_batch_is_caught(self):
+        source = textwrap.dedent(
+            """
+            from repro.api import run_batch
+
+            def bad(requests):
+                return run_batch(requests, on_result=lambda r: r.node_count)
+            """
+        )
+        findings = lint_source(source, "src/repro/exec/driver.py")
+        assert _rules(findings) == ["RL011"]
+        assert "lambda" in findings[0].message
+
+    def test_real_batch_module_is_clean(self):
+        batch = REPO_ROOT / "src" / "repro" / "exec" / "batch.py"
+        source = batch.read_text(encoding="utf-8")
+        assert lint_source(source, "src/repro/exec/batch.py") == []
+
+
+class TestRL013Ordering:
+    def test_mutation_before_budget_call_is_caught(self):
+        source = textwrap.dedent(
+            """
+            class Manager:
+                def _enforce_budget(self):
+                    raise MemoryBudgetExceeded("over")
+
+                def maybe_collect(self):
+                    self._threshold = self._threshold * 2
+                    self._enforce_budget()
+            """
+        )
+        findings = lint_source(source, "src/repro/dd/mem.py")
+        assert _rules(findings) == ["RL013"]
+
+    def test_mutation_after_budget_call_is_clean(self):
+        source = textwrap.dedent(
+            """
+            class Manager:
+                def _enforce_budget(self):
+                    raise MemoryBudgetExceeded("over")
+
+                def maybe_collect(self):
+                    self._enforce_budget()
+                    self._threshold = self._threshold * 2
+            """
+        )
+        assert lint_source(source, "src/repro/dd/mem.py") == []

@@ -1,0 +1,113 @@
+"""Engine + incremental cache behaviour: hits on untouched files,
+invalidation on edit, invalidation on rule-version bump, and the
+correctness property that cached runs report identical findings."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint.engine import run_lint
+
+CLEAN = "def fine(a, b):\n    return a + b\n"
+# A float literal inside a rings path trips RL002.
+DIRTY = "HALF = 0.5\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "src" / "repro" / "rings"
+    root.mkdir(parents=True)
+    (root / "alpha.py").write_text(CLEAN, encoding="utf-8")
+    (root / "beta.py").write_text(DIRTY, encoding="utf-8")
+    return tmp_path
+
+
+def _run(tree, **kwargs):
+    cache = tree / "cache.json"
+    return run_lint(
+        [str(tree / "src")],
+        use_cache=True,
+        cache_path=cache,
+        doc_path=tree / "missing-doc.md",
+        **kwargs,
+    )
+
+
+def test_cold_then_warm_hits_every_file(tree):
+    cold = _run(tree)
+    assert cold.cache_hits == 0 and cold.cache_misses == 2
+    warm = _run(tree)
+    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+    assert [f.rule for f in cold.findings] == ["RL002"]
+
+
+def test_edit_invalidates_only_that_file(tree):
+    _run(tree)
+    target = tree / "src" / "repro" / "rings" / "alpha.py"
+    target.write_text(CLEAN + "TAU = 2.0\n", encoding="utf-8")
+    rerun = _run(tree)
+    assert rerun.cache_hits == 1 and rerun.cache_misses == 1
+    assert {f.rule for f in rerun.findings} == {"RL002"}
+    assert len(rerun.findings) == 2  # beta's cached finding + alpha's new one
+
+
+def test_touch_without_content_change_still_hits(tree):
+    _run(tree)
+    target = tree / "src" / "repro" / "rings" / "alpha.py"
+    stat = target.stat()
+    os.utime(target, ns=(stat.st_atime_ns + 10**9, stat.st_mtime_ns + 10**9))
+    rerun = _run(tree)
+    # The mtime fast path misses but the content hash still matches.
+    assert rerun.cache_hits == 2 and rerun.cache_misses == 0
+
+
+def test_rule_version_bump_invalidates_everything(tree, monkeypatch):
+    _run(tree)
+    import tools.repro_lint.engine as engine_mod
+
+    monkeypatch.setattr(
+        engine_mod, "rules_signature", lambda: "bumped-signature"
+    )
+    rerun = _run(tree)
+    assert rerun.cache_hits == 0 and rerun.cache_misses == 2
+
+
+def test_corrupt_cache_file_is_ignored(tree):
+    (tree / "cache.json").write_text("{not json", encoding="utf-8")
+    run = _run(tree)
+    assert run.cache_misses == 2
+    # And the corrupt file was replaced with a valid one.
+    payload = json.loads((tree / "cache.json").read_text(encoding="utf-8"))
+    assert set(payload["entries"]) == {
+        str(Path(tree / "src" / "repro" / "rings" / name)).replace(os.sep, "/")
+        for name in ("alpha.py", "beta.py")
+    }
+
+
+def test_deleted_file_is_pruned_from_cache(tree):
+    _run(tree)
+    (tree / "src" / "repro" / "rings" / "beta.py").unlink()
+    rerun = _run(tree)
+    assert rerun.findings == []
+    payload = json.loads((tree / "cache.json").read_text(encoding="utf-8"))
+    assert all("beta.py" not in key for key in payload["entries"])
+
+
+def test_parallel_jobs_match_sequential(tree):
+    sequential = run_lint(
+        [str(tree / "src")], use_cache=False, doc_path=tree / "missing-doc.md"
+    )
+    parallel = run_lint(
+        [str(tree / "src")],
+        jobs=2,
+        use_cache=False,
+        doc_path=tree / "missing-doc.md",
+    )
+    assert [f.to_dict() for f in parallel.findings] == [
+        f.to_dict() for f in sequential.findings
+    ]

@@ -1,0 +1,134 @@
+"""Output layer: baseline filtering, reporters, and CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint.baseline import Baseline
+from tools.repro_lint.cli import main
+from tools.repro_lint.core import Finding
+from tools.repro_lint.registry import RULES
+from tools.repro_lint.reporters import render
+
+
+def _finding(rule="RL002", path="src/repro/rings/x.py", line=3, message="bad"):
+    return Finding(rule, path, line, 0, message)
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_independent(self):
+        a = _finding(line=3)
+        b = _finding(line=40)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != _finding(message="other").fingerprint()
+
+    def test_filter_splits_new_and_accepted(self):
+        known = _finding()
+        fresh = _finding(message="newly introduced")
+        baseline = Baseline.from_findings([known], justification="legacy")
+        new, accepted = baseline.filter([known, fresh])
+        assert [f.message for f in accepted] == ["bad"]
+        assert [f.message for f in new] == ["newly introduced"]
+
+    def test_count_budget_is_enforced(self):
+        # Two identical findings baselined once: the second overflows.
+        finding = _finding()
+        baseline = Baseline.from_findings([finding])
+        new, accepted = baseline.filter([finding, finding])
+        assert len(accepted) == 1 and len(new) == 1
+
+    def test_roundtrip_through_file(self, tmp_path):
+        baseline = Baseline.from_findings(
+            [_finding()], justification="tracked: see docs/STATIC_ANALYSIS.md"
+        )
+        target = tmp_path / "baseline.json"
+        baseline.write(target)
+        loaded = Baseline.load(target)
+        new, accepted = loaded.filter([_finding()])
+        assert new == [] and len(accepted) == 1
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        entry = next(iter(payload["entries"].values()))
+        assert entry["justification"].startswith("tracked")
+
+
+class TestReporters:
+    FINDINGS = [
+        _finding(),
+        _finding(rule="RL010", path="src/repro/rings/y.py", message="impure"),
+    ]
+
+    def test_text_matches_compiler_convention(self):
+        text = render("text", self.FINDINGS, RULES)
+        assert "src/repro/rings/x.py:3:1: RL002 bad" in text
+
+    def test_json_shape(self):
+        payload = json.loads(render("json", self.FINDINGS, RULES))
+        assert payload["count"] == 2
+        assert {f["rule"] for f in payload["findings"]} == {"RL002", "RL010"}
+
+    def test_sarif_shape(self):
+        log = json.loads(render("sarif", self.FINDINGS, RULES))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {r.code for r in RULES} <= rule_ids
+        result = run["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 3
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            render("xml", self.FINDINGS, RULES)
+
+
+class TestCli:
+    @pytest.fixture()
+    def tree(self, tmp_path, monkeypatch):
+        root = tmp_path / "src" / "repro" / "rings"
+        root.mkdir(parents=True)
+        (root / "bad.py").write_text("HALF = 0.5\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_findings_exit_nonzero(self, tree, capsys):
+        code = main([str(tree / "src"), "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out
+
+    def test_write_baseline_then_clean_exit(self, tree, capsys):
+        assert main([str(tree / "src"), "--no-cache", "--write-baseline"]) == 0
+        assert Path(".repro_lint_baseline.json").exists()
+        assert main([str(tree / "src"), "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "1 baselined" in err
+
+    def test_new_finding_fails_despite_baseline(self, tree, capsys):
+        assert main([str(tree / "src"), "--no-cache", "--write-baseline"]) == 0
+        bad = tree / "src" / "repro" / "rings" / "bad.py"
+        bad.write_text("HALF = 0.5\nTAU = 6.28\n", encoding="utf-8")
+        assert main([str(tree / "src"), "--no-cache"]) == 1
+
+    def test_output_file_and_sarif(self, tree):
+        target = tree / "report.sarif"
+        code = main(
+            [
+                str(tree / "src"),
+                "--no-cache",
+                "--format",
+                "sarif",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 1
+        log = json.loads(target.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"]
+
+    def test_list_rules_covers_catalogue(self, tree, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL009", "RL013"):
+            assert code in out

@@ -1,27 +1,47 @@
-"""repro-lint: custom static analysis for the canonical QMDD core.
+"""repro-lint: a multi-pass static-analysis framework for the QMDD core.
 
-See :mod:`tools.repro_lint.linter` for the rule catalogue (RL001-RL005)
-and the pragma syntax.  Run as ``python -m tools.repro_lint``.
+The rule catalogue spans the range reported by
+:func:`tools.repro_lint.registry.catalogue_line` (currently generated
+from the registry, so this prose cannot go stale): run
+``python -m tools.repro_lint --list-rules`` for the authoritative
+table, or see ``docs/STATIC_ANALYSIS.md`` for the annotated catalogue
+and the pragma syntax.
+
+Layout:
+
+* :mod:`tools.repro_lint.core` -- findings, rules, pragmas, scoping
+* :mod:`tools.repro_lint.analysis` -- per-file facts + cross-module
+  artifacts (call graph, purity summary, telemetry doc inventory)
+* :mod:`tools.repro_lint.rules` -- one module per rule family,
+  auto-discovered by :mod:`tools.repro_lint.registry`
+* :mod:`tools.repro_lint.engine` -- two-pass driver (per-file pass is
+  parallel + incrementally cached; project pass reruns from facts)
+* :mod:`tools.repro_lint.baseline` / :mod:`tools.repro_lint.reporters`
+  / :mod:`tools.repro_lint.cli` -- the output layer
+
+Run as ``python -m tools.repro_lint [paths...]``.
 """
 
-from tools.repro_lint.linter import (
-    Finding,
-    Rule,
-    RULES,
+from tools.repro_lint.cli import main
+from tools.repro_lint.core import Finding, Rule
+from tools.repro_lint.engine import (
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
-    main,
+    run_lint,
 )
+from tools.repro_lint.registry import RULES, catalogue_line
 
 __all__ = [
     "Finding",
     "Rule",
     "RULES",
+    "catalogue_line",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "run_lint",
     "main",
 ]

@@ -2,7 +2,7 @@
 
 import sys
 
-from tools.repro_lint.linter import main
+from tools.repro_lint.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,699 @@
+"""Shared analysis core: per-file facts and cross-module artifacts.
+
+The framework runs in two passes.  Pass one parses each file once and
+runs the per-file rule checks; while the AST is hot it also extracts a
+serialisable :class:`FileFacts` record (function inventory, call edges,
+raised exceptions, purity issues, telemetry-instrument registrations,
+pragma lines).  Pass two never re-reads source: the *project* checks
+(transitive ring purity, telemetry-name drift) and the cross-module
+artifacts -- the import/call graph, the purity summary, the may-raise
+sets -- are all derived from facts, which the incremental cache
+(:mod:`tools.repro_lint.cache`) persists alongside findings.  A warm
+run therefore skips parsing entirely for unchanged files while the
+project-level analyses still see the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.repro_lint.core import (
+    Finding,
+    parse_suppressions,
+    posix,
+    transfer_lines,
+)
+
+__all__ = [
+    "PurityIssue",
+    "FunctionFact",
+    "FileFacts",
+    "CallGraph",
+    "DocEntry",
+    "DocInventory",
+    "AnalysisContext",
+    "extract_facts",
+    "summarize_function_purity",
+    "summarize_module_purity",
+    "default_doc_path",
+]
+
+#: Receiver methods that mutate their receiver in place.  Calling one
+#: of these on a function parameter makes the function impure.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "sort",
+        "reverse",
+        "__setitem__",
+        "__delitem__",
+    }
+)
+
+#: Files whose joint presence marks a full-tree run (project checks
+#: that need the whole source tree, e.g. the reverse direction of
+#: RL012, only fire in full-tree mode).
+FULL_TREE_SENTINELS = (
+    "repro/sim/simulator.py",
+    "repro/dd/mem.py",
+    "repro/exec/batch.py",
+)
+
+
+# ---------------------------------------------------------------------------
+# Per-file facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PurityIssue:
+    """One reason a function (or module) is impure."""
+
+    line: int
+    col: int
+    kind: str  # "global-decl" | "param-mutation" | "module-global"
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PurityIssue":
+        return cls(
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            kind=str(payload["kind"]),
+            message=str(payload["message"]),
+        )
+
+
+@dataclass
+class FunctionFact:
+    """Inventory record for one function definition."""
+
+    qualname: str
+    name: str
+    lineno: int
+    calls: Set[str] = field(default_factory=set)
+    raises: Set[str] = field(default_factory=set)
+    purity_issues: List[PurityIssue] = field(default_factory=list)
+
+    @property
+    def directly_pure(self) -> bool:
+        return not self.purity_issues
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "lineno": self.lineno,
+            "calls": sorted(self.calls),
+            "raises": sorted(self.raises),
+            "purity_issues": [issue.to_dict() for issue in self.purity_issues],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FunctionFact":
+        return cls(
+            qualname=str(payload["qualname"]),
+            name=str(payload["name"]),
+            lineno=int(payload["lineno"]),
+            calls=set(payload.get("calls", ())),
+            raises=set(payload.get("raises", ())),
+            purity_issues=[
+                PurityIssue.from_dict(issue)
+                for issue in payload.get("purity_issues", ())
+            ],
+        )
+
+
+@dataclass
+class FileFacts:
+    """Everything the project-level passes need to know about a file.
+
+    Facts are a pure function of the file's content, so they are safe
+    to cache by content hash and reuse even when *other* files change.
+    """
+
+    path: str
+    functions: List[FunctionFact] = field(default_factory=list)
+    module_purity_issues: List[PurityIssue] = field(default_factory=list)
+    #: (instrument name, kind, line, col) for every literal
+    #: ``.counter("x")`` / ``.gauge("x")`` / ``.histogram("x", ...)``.
+    registrations: List[Tuple[str, str, int, int]] = field(default_factory=list)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    transfer_lines: Set[int] = field(default_factory=set)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "functions": [fn.to_dict() for fn in self.functions],
+            "module_purity_issues": [
+                issue.to_dict() for issue in self.module_purity_issues
+            ],
+            "registrations": [list(item) for item in self.registrations],
+            "suppressions": {
+                str(line): sorted(codes)
+                for line, codes in self.suppressions.items()
+            },
+            "transfer_lines": sorted(self.transfer_lines),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FileFacts":
+        return cls(
+            path=str(payload["path"]),
+            functions=[
+                FunctionFact.from_dict(fn) for fn in payload.get("functions", ())
+            ],
+            module_purity_issues=[
+                PurityIssue.from_dict(issue)
+                for issue in payload.get("module_purity_issues", ())
+            ],
+            registrations=[
+                (str(name), str(kind), int(line), int(col))
+                for name, kind, line, col in payload.get("registrations", ())
+            ],
+            suppressions={
+                int(line): set(codes)
+                for line, codes in payload.get("suppressions", {}).items()
+            },
+            transfer_lines=set(payload.get("transfer_lines", ())),
+        )
+
+    def allows(self, line: int, code: str) -> bool:
+        return code in self.suppressions.get(line, ())
+
+
+# ---------------------------------------------------------------------------
+# Facts extraction
+# ---------------------------------------------------------------------------
+
+_REGISTRATION_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func  # type: ignore[assignment]
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def summarize_function_purity(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> List[PurityIssue]:
+    """Direct impurity evidence for one function body.
+
+    Three kinds of evidence, matching the RL010 contract for the exact
+    ring layer: ``global`` declarations, in-place mutation of a
+    parameter (attribute/item assignment or a mutating method call on a
+    parameter name), and nothing else -- constructors initialising
+    ``self`` are exempt by parameter filtering.
+    """
+    params = {
+        arg.arg
+        for arg in itertools.chain(
+            fn.args.posonlyargs, fn.args.args, fn.args.kwonlyargs
+        )
+    }
+    if fn.args.vararg is not None:
+        params.add(fn.args.vararg.arg)
+    if fn.args.kwarg is not None:
+        params.add(fn.args.kwarg.arg)
+    params.discard("self")
+    params.discard("cls")
+
+    # A parameter rebound to a local value (``values = list(values)``)
+    # is a defensive copy; mutations through the new binding are local.
+    rebound: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.FunctionDef) and node is not fn:
+            continue
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    rebound.add(target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                rebound.add(target.id)
+
+    tracked = params - rebound
+    issues: List[PurityIssue] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            issues.append(
+                PurityIssue(
+                    node.lineno,
+                    node.col_offset,
+                    "global-decl",
+                    f"'global {', '.join(node.names)}' introduces module-global "
+                    "state into a ring function",
+                )
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                base = target
+                if isinstance(base, (ast.Attribute, ast.Subscript)) and isinstance(
+                    base.value, ast.Name
+                ):
+                    if base.value.id in tracked:
+                        what = (
+                            f"{base.value.id}.{base.attr}"
+                            if isinstance(base, ast.Attribute)
+                            else f"{base.value.id}[...]"
+                        )
+                        issues.append(
+                            PurityIssue(
+                                target.lineno,
+                                target.col_offset,
+                                "param-mutation",
+                                f"assignment to {what} mutates a ring-value "
+                                "argument in place",
+                            )
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tracked
+            ):
+                issues.append(
+                    PurityIssue(
+                        node.lineno,
+                        node.col_offset,
+                        "param-mutation",
+                        f"{func.value.id}.{func.attr}(...) mutates a ring-value "
+                        "argument in place",
+                    )
+                )
+    issues.sort(key=lambda issue: (issue.line, issue.col))
+    return issues
+
+
+def _is_mutable_literal(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("dict", "list", "set", "bytearray")
+    ):
+        return True
+    return False
+
+
+def summarize_module_purity(tree: ast.Module) -> List[PurityIssue]:
+    """Module-level mutable state (the ring layer must not have any)."""
+    issues: List[PurityIssue] = []
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and not (
+                target.id.startswith("__") and target.id.endswith("__")
+            ):
+                issues.append(
+                    PurityIssue(
+                        node.lineno,
+                        node.col_offset,
+                        "module-global",
+                        f"module-level mutable container {target.id!r}; ring "
+                        "state must live in the (GC-swept, observable) "
+                        "number-system layer, not in hidden module globals",
+                    )
+                )
+    return issues
+
+
+def extract_facts(tree: ast.Module, path: str, source: str) -> FileFacts:
+    """One-pass facts extraction while the AST is hot."""
+    facts = FileFacts(
+        path=posix(path),
+        suppressions=parse_suppressions(source),
+        transfer_lines=transfer_lines(source),
+    )
+    facts.module_purity_issues = summarize_module_purity(tree)
+
+    def visit_scope(
+        body: Sequence[ast.stmt], prefix: str
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}" if prefix else node.name
+                fact = FunctionFact(
+                    qualname=qualname,
+                    name=node.name,
+                    lineno=node.lineno,
+                    purity_issues=summarize_function_purity(node),
+                )
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Call):
+                        name = _call_name(inner)
+                        if name is not None:
+                            fact.calls.add(name)
+                    elif isinstance(inner, ast.Raise):
+                        name = _raised_name(inner)
+                        if name is not None:
+                            fact.raises.add(name)
+                facts.functions.append(fact)
+                visit_scope(node.body, f"{qualname}.")
+            elif isinstance(node, ast.ClassDef):
+                visit_scope(node.body, f"{prefix}{node.name}.")
+
+    visit_scope(tree.body, "")
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _REGISTRATION_KINDS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            facts.registrations.append(
+                (node.args[0].value, func.attr, node.lineno, node.col_offset)
+            )
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+
+class CallGraph:
+    """Name-based call graph over every function fact in the run.
+
+    Edges connect a function (keyed ``path::qualname``) to the *simple*
+    names it calls.  Resolution is intentionally name-based and
+    conservative -- for invariants like "may transitively raise
+    MemoryBudgetExceeded" an over-approximation is the safe direction.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionFact] = {}
+        self._by_simple_name: Dict[str, List[str]] = {}
+
+    @classmethod
+    def build(cls, facts: Iterable[FileFacts]) -> "CallGraph":
+        graph = cls()
+        for file_facts in facts:
+            for fn in file_facts.functions:
+                key = f"{file_facts.path}::{fn.qualname}"
+                graph.functions[key] = fn
+                graph._by_simple_name.setdefault(fn.name, []).append(key)
+        return graph
+
+    def keys_for_name(self, name: str) -> List[str]:
+        return list(self._by_simple_name.get(name, ()))
+
+    def callees(self, key: str) -> Set[str]:
+        return set(self.functions[key].calls)
+
+    def callers_of(self, name: str) -> List[str]:
+        """Keys of every function whose body calls ``name``."""
+        return [
+            key for key, fn in self.functions.items() if name in fn.calls
+        ]
+
+    def may_raise(self, exception: str) -> Set[str]:
+        """Simple names of functions that may (transitively) raise.
+
+        Seeds are functions with a literal ``raise <exception>``;
+        propagation follows call edges by simple name to a fixpoint.
+        """
+        tainted: Set[str] = {
+            fn.name for fn in self.functions.values() if exception in fn.raises
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions.values():
+                if fn.name not in tainted and fn.calls & tainted:
+                    tainted.add(fn.name)
+                    changed = True
+        return tainted
+
+
+# ---------------------------------------------------------------------------
+# Telemetry documentation inventory (docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+
+_PUSH_KINDS = frozenset({"counter", "gauge", "histogram"})
+_DOC_KINDS = _PUSH_KINDS | {"collected"}
+_CODE_SPAN = re.compile(r"`([^`]+)`")
+
+
+@dataclass(frozen=True)
+class DocEntry:
+    """One instrument-name pattern from the documentation catalog."""
+
+    display: str
+    regex: "re.Pattern[str]"
+    kinds: frozenset
+    line: int
+    #: Concrete expansions (empty when the pattern has an open
+    #: ``<wildcard>`` segment -- such rows are skipped by the reverse
+    #: drift direction).
+    concrete_names: Tuple[str, ...] = ()
+
+    def matches(self, name: str) -> bool:
+        return self.regex.fullmatch(name) is not None
+
+
+def _expand_pattern(pattern: str) -> Tuple[str, List[str]]:
+    """Doc pattern -> (regex source, concrete expansions).
+
+    ``{a,b}`` and ``<a|b>`` are finite alternations; ``<word>`` without
+    an alternative is an open wildcard (one dotted segment).
+    """
+    regex_parts: List[str] = []
+    expansions: List[List[str]] = []
+    wildcard = False
+    index = 0
+    token = re.compile(r"\{([^}]*)\}|<([^>]*)>")
+    for match in token.finditer(pattern):
+        literal = pattern[index : match.start()]
+        regex_parts.append(re.escape(literal))
+        expansions.append([literal])
+        body = match.group(1) if match.group(1) is not None else match.group(2)
+        body = body.replace("\\|", "|")
+        if match.group(1) is not None:
+            options = [item.strip() for item in body.split(",")]
+        elif "|" in body:
+            options = [item.strip() for item in body.split("|")]
+        else:
+            options = []
+        if options:
+            regex_parts.append("(?:" + "|".join(re.escape(o) for o in options) + ")")
+            expansions.append(options)
+        else:
+            regex_parts.append(r"[^.]+")
+            expansions.append([])
+            wildcard = True
+        index = match.end()
+    tail = pattern[index:]
+    regex_parts.append(re.escape(tail))
+    expansions.append([tail])
+    if wildcard:
+        return "".join(regex_parts), []
+    concrete = [
+        "".join(parts) for parts in itertools.product(*expansions)
+    ]
+    return "".join(regex_parts), concrete
+
+
+class DocInventory:
+    """Parsed instrument catalog of ``docs/OBSERVABILITY.md``."""
+
+    def __init__(self, entries: List[DocEntry]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def parse(cls, text: str) -> "DocInventory":
+        entries: List[DocEntry] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped.startswith("|"):
+                continue
+            cells = [
+                cell.strip()
+                for cell in re.split(r"(?<!\\)\|", stripped)
+            ]
+            # ['', name, kind, meaning, ..., ''] after the outer pipes.
+            if len(cells) < 4:
+                continue
+            name_cell, kind_cell = cells[1], cells[2]
+            kinds = [
+                token
+                for token in ("counter", "gauge", "histogram", "collected")
+                if re.search(rf"\b{token}\b", kind_cell)
+            ]
+            if not kinds:
+                continue
+            names = _CODE_SPAN.findall(name_cell)
+            if not names:
+                continue
+            kind_tokens = [
+                token
+                for token in re.split(r"\s*/\s*", kind_cell)
+                if token in _DOC_KINDS
+            ]
+            positional = len(kind_tokens) == len(names) and len(names) > 1
+            for position, name in enumerate(names):
+                if positional:
+                    entry_kinds = frozenset({kind_tokens[position]})
+                else:
+                    entry_kinds = frozenset(kinds)
+                regex_src, concrete = _expand_pattern(name)
+                entries.append(
+                    DocEntry(
+                        display=name,
+                        regex=re.compile(regex_src),
+                        kinds=entry_kinds,
+                        line=lineno,
+                        concrete_names=tuple(concrete),
+                    )
+                )
+        return cls(entries)
+
+    def lookup(self, name: str) -> List[DocEntry]:
+        return [entry for entry in self.entries if entry.matches(name)]
+
+    def push_entries(self) -> List[DocEntry]:
+        """Entries documented as push instruments (counter/gauge/histogram)."""
+        return [
+            entry
+            for entry in self.entries
+            if entry.kinds & _PUSH_KINDS
+        ]
+
+
+def default_doc_path() -> Path:
+    """``docs/OBSERVABILITY.md`` resolved relative to the repo root."""
+    return Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+
+# ---------------------------------------------------------------------------
+# The context handed to every rule check
+# ---------------------------------------------------------------------------
+
+
+class AnalysisContext:
+    """Facts for every file in the run plus lazy cross-module artifacts."""
+
+    def __init__(
+        self,
+        facts: Dict[str, FileFacts],
+        doc_path: Optional[Path] = None,
+    ) -> None:
+        self.facts = facts
+        self.doc_path = doc_path if doc_path is not None else default_doc_path()
+        self._call_graph: Optional[CallGraph] = None
+        self._doc_inventory: "Optional[DocInventory] | bool" = None
+        self._may_raise: Dict[str, Set[str]] = {}
+
+    # -- artifact accessors ----------------------------------------------
+
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._call_graph is None:
+            self._call_graph = CallGraph.build(self.facts.values())
+        return self._call_graph
+
+    def may_raise(self, exception: str) -> Set[str]:
+        if exception not in self._may_raise:
+            self._may_raise[exception] = self.call_graph.may_raise(exception)
+        return self._may_raise[exception]
+
+    @property
+    def doc_inventory(self) -> Optional[DocInventory]:
+        """The observability catalog, or ``None`` when the doc is absent."""
+        if self._doc_inventory is None:
+            try:
+                text = self.doc_path.read_text(encoding="utf-8")
+            except OSError:
+                self._doc_inventory = False
+            else:
+                self._doc_inventory = DocInventory.parse(text)
+        return self._doc_inventory if self._doc_inventory is not False else None
+
+    @property
+    def is_full_tree(self) -> bool:
+        """Whether the run covers the whole engine source tree.
+
+        Project checks that reason about *absence* (an instrument
+        documented but registered nowhere) only make sense when every
+        registration site is part of the run.
+        """
+        suffixes = set()
+        for path in self.facts:
+            for sentinel in FULL_TREE_SENTINELS:
+                if path.endswith(sentinel):
+                    suffixes.add(sentinel)
+        return len(suffixes) == len(FULL_TREE_SENTINELS)
+
+    def facts_for(self, path: str) -> Optional[FileFacts]:
+        return self.facts.get(posix(path))
+
+    def file_allows(self, path: str, line: int, code: str) -> bool:
+        facts = self.facts_for(path)
+        return facts is not None and facts.allows(line, code)
+
+    def suppress(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Drop findings carrying an ``allow[...]`` pragma on their line."""
+        kept: List[Finding] = []
+        for finding in findings:
+            if self.file_allows(finding.path, finding.line, finding.rule):
+                continue
+            kept.append(finding)
+        return kept

@@ -1,0 +1,121 @@
+"""Committed findings baseline (``.repro_lint_baseline.json``).
+
+The strict CI job fails on any finding that is not *baselined*.  The
+baseline maps finding fingerprints (rule + path + message, line-number
+independent) to an occurrence count and a human justification, so:
+
+* adopting a new rule does not require fixing every historic violation
+  at once -- ``--write-baseline`` records the current state;
+* a baselined finding that gets *fixed* does not silently leave a slot
+  open for a new violation with the same fingerprint elsewhere --
+  counts are matched, and surplus occurrences fail the run;
+* every accepted violation carries a written reason in review.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from tools.repro_lint.core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro_lint_baseline.json"
+_BASELINE_FORMAT = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> (allowed count, justification)."""
+
+    path: "Path | None" = None
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        baseline = cls(path=path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            return baseline
+        except ValueError as exc:
+            raise SystemExit(f"repro_lint: malformed baseline {path}: {exc}")
+        if not isinstance(payload, dict) or payload.get("format") != _BASELINE_FORMAT:
+            raise SystemExit(
+                f"repro_lint: unsupported baseline format in {path}; "
+                "regenerate with --write-baseline"
+            )
+        entries = payload.get("entries", {})
+        if isinstance(entries, dict):
+            baseline.entries = {
+                str(fp): {
+                    "count": int(entry.get("count", 1)),
+                    "rule": str(entry.get("rule", "")),
+                    "path": str(entry.get("path", "")),
+                    "message": str(entry.get("message", "")),
+                    "justification": str(entry.get("justification", "")),
+                }
+                for fp, entry in entries.items()
+                if isinstance(entry, dict)
+            }
+        return baseline
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined).
+
+        Occurrences beyond a fingerprint's allowed count overflow into
+        *new* -- the baseline grants a budget, not a blanket waiver.
+        """
+        budget = Counter(
+            {fp: int(entry["count"]) for fp, entry in self.entries.items()}
+        )
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        justification: str = "accepted at baseline capture",
+    ) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = finding.fingerprint()
+            entry = baseline.entries.setdefault(
+                fp,
+                {
+                    "count": 0,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "justification": justification,
+                },
+            )
+            entry["count"] = int(entry["count"]) + 1
+        return baseline
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "format": _BASELINE_FORMAT,
+            "entries": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )

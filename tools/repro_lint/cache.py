@@ -1,0 +1,186 @@
+"""Incremental result cache (``.repro_lint_cache.json``).
+
+Per-file lint results are a pure function of (file content, rule set,
+observability catalog), so they are safe to reuse across runs:
+
+* **Fast path** -- if a file's ``(mtime_ns, size)`` pair is unchanged,
+  its entry is reused without reading the file at all.
+* **Content path** -- otherwise the file is hashed (sha256); an entry
+  with the same digest is still valid (e.g. ``touch``-ed files).
+* **Global version** -- the cache stores a version string combining the
+  rules signature (codes + declared versions) and the content hash of
+  ``docs/OBSERVABILITY.md``; a mismatch drops every entry, because rule
+  edits and catalog edits can change any file's findings.
+
+Entries carry both the per-file *findings* and the serialized
+:class:`~tools.repro_lint.analysis.FileFacts`, so project-level passes
+(which always rerun) see the whole tree even on a fully warm run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.repro_lint.analysis import FileFacts
+from tools.repro_lint.core import Finding
+
+__all__ = ["CacheEntry", "LintCache", "DEFAULT_CACHE_NAME", "file_digest"]
+
+DEFAULT_CACHE_NAME = ".repro_lint_cache.json"
+_CACHE_FORMAT = 1
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Cached outcome of linting one file."""
+
+    digest: str
+    mtime_ns: int
+    size: int
+    findings: List[Finding] = field(default_factory=list)
+    facts: Optional[FileFacts] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "digest": self.digest,
+            "mtime_ns": self.mtime_ns,
+            "size": self.size,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "facts": self.facts.to_dict() if self.facts is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CacheEntry":
+        facts_payload = payload.get("facts")
+        return cls(
+            digest=str(payload["digest"]),
+            mtime_ns=int(payload["mtime_ns"]),  # type: ignore[arg-type]
+            size=int(payload["size"]),  # type: ignore[arg-type]
+            findings=[
+                Finding.from_dict(item)  # type: ignore[arg-type]
+                for item in payload.get("findings", ())  # type: ignore[union-attr]
+            ],
+            facts=(
+                FileFacts.from_dict(facts_payload)  # type: ignore[arg-type]
+                if facts_payload
+                else None
+            ),
+        )
+
+
+class LintCache:
+    """mtime+content-hash keyed cache of per-file lint results."""
+
+    def __init__(self, path: Path, version: str) -> None:
+        self.path = path
+        self.version = version
+        self.entries: Dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # -- persistence -----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path, version: str) -> "LintCache":
+        cache = cls(path, version)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _CACHE_FORMAT
+            or payload.get("version") != version
+        ):
+            # Rule set or observability catalog changed: every cached
+            # result is suspect, start cold.
+            return cache
+        for key, entry in payload.get("entries", {}).items():
+            try:
+                cache.entries[key] = CacheEntry.from_dict(entry)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return cache
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "format": _CACHE_FORMAT,
+            "version": self.version,
+            "entries": {
+                key: entry.to_dict() for key, entry in self.entries.items()
+            },
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(self, key: str, stat: os.stat_result) -> Optional[CacheEntry]:
+        """Fast-path lookup by (mtime_ns, size); no file read."""
+        entry = self.entries.get(key)
+        if (
+            entry is not None
+            and entry.mtime_ns == stat.st_mtime_ns
+            and entry.size == stat.st_size
+        ):
+            self.hits += 1
+            return entry
+        return None
+
+    def lookup_by_digest(
+        self, key: str, stat: os.stat_result, digest: str
+    ) -> Optional[CacheEntry]:
+        """Content-path lookup; refreshes the stat signature on hit."""
+        entry = self.entries.get(key)
+        if entry is not None and entry.digest == digest:
+            entry.mtime_ns = stat.st_mtime_ns
+            entry.size = stat.st_size
+            self._dirty = True
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        key: str,
+        stat: os.stat_result,
+        digest: str,
+        findings: List[Finding],
+        facts: Optional[FileFacts],
+    ) -> None:
+        self.entries[key] = CacheEntry(
+            digest=digest,
+            mtime_ns=stat.st_mtime_ns,
+            size=stat.st_size,
+            findings=list(findings),
+            facts=facts,
+        )
+        self._dirty = True
+
+    def prune(self, live_keys: "set[str]") -> None:
+        """Drop entries for files no longer part of the run."""
+        stale = [key for key in self.entries if key not in live_keys]
+        for key in stale:
+            del self.entries[key]
+        if stale:
+            self._dirty = True
+
+    def stats(self) -> Tuple[int, int]:
+        return self.hits, self.misses

@@ -1,0 +1,150 @@
+"""Command-line front end.
+
+Exit status: 0 when every finding is baselined (or there are none),
+1 otherwise -- so ``python -m tools.repro_lint src tools`` is directly
+usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.repro_lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from tools.repro_lint.cache import DEFAULT_CACHE_NAME
+from tools.repro_lint.core import Finding
+from tools.repro_lint.engine import resolve_jobs, run_lint
+from tools.repro_lint.registry import RULES, catalogue_line
+from tools.repro_lint.reporters import FORMATS, render
+
+__all__ = ["main"]
+
+
+def _build_parser() -> "argparse.ArgumentParser":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "project-specific static checks for the QMDD core "
+            f"({catalogue_line()})"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N|auto",
+        default="1",
+        help="per-file workers; 'auto' uses the CPU count (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        default=DEFAULT_CACHE_NAME,
+        help=f"cache location (default: ./{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE_NAME,
+        help=(
+            "accepted-findings baseline; findings matching it do not fail "
+            f"the run (default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="capture the current findings as the baseline and exit 0",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            marker = "+project" if rule.project_check is not None else ""
+            print(f"{rule.code}  {rule.summary}  {marker}".rstrip())
+        return 0
+
+    started = time.perf_counter()
+    run = run_lint(
+        args.paths,
+        jobs=resolve_jobs(args.jobs),
+        use_cache=not args.no_cache,
+        cache_path=Path(args.cache_file),
+    )
+    elapsed = time.perf_counter() - started
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        Baseline.from_findings(run.findings).write(baseline_path)
+        print(
+            f"repro-lint: baseline with {len(run.findings)} finding(s) "
+            f"written to {baseline_path}"
+        )
+        return 0
+
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+    )
+    new_findings, accepted = baseline.filter(run.findings)
+
+    report = render(args.format, new_findings, RULES)
+    if args.output:
+        output_path: Optional[Path] = Path(args.output)
+        output_path.write_text(report + "\n", encoding="utf-8")
+    elif report:
+        print(report)
+
+    _summary(run, new_findings, accepted, elapsed)
+    return 1 if new_findings else 0
+
+
+def _summary(
+    run: "object",
+    new_findings: List[Finding],
+    accepted: List[Finding],
+    elapsed: float,
+) -> None:
+    parts = [
+        f"{run.files} file(s)",  # type: ignore[attr-defined]
+        f"{run.cache_hits} cached",  # type: ignore[attr-defined]
+        f"{elapsed * 1000.0:.0f} ms",
+    ]
+    if accepted:
+        parts.append(f"{len(accepted)} baselined")
+    status = (
+        f"{len(new_findings)} finding(s)" if new_findings else "clean"
+    )
+    print(f"repro-lint: {status} ({', '.join(parts)})", file=sys.stderr)

@@ -1,0 +1,182 @@
+"""Framework core: findings, rules, pragmas and path scoping.
+
+``repro_lint`` is organised as a small multi-pass static-analysis
+framework:
+
+* :class:`Rule` objects live in :mod:`tools.repro_lint.rules` (one
+  module per rule family, auto-discovered by
+  :mod:`tools.repro_lint.registry`).
+* Each rule has a *per-file* check (AST + analysis context) and may
+  additionally have a *project* check that runs once over the
+  cross-module artifacts (call graph, purity summary, telemetry
+  inventory) built by :mod:`tools.repro_lint.analysis`.
+* The engine (:mod:`tools.repro_lint.engine`) drives both passes,
+  backed by the incremental cache (:mod:`tools.repro_lint.cache`) and
+  the committed baseline (:mod:`tools.repro_lint.baseline`).
+
+Suppression pragmas:
+
+``# repro-lint: allow[RL00X]``
+    Silence the named rule(s) on this line (comma-separated codes).
+
+``# repro-lint: transfers-ownership``
+    On a ``def`` line: the function deliberately retains/hands off a
+    root registration (RL009 stops tracking the whole function).
+    On an ``inc_ref`` line: that acquisition transfers out.
+    On a call line: the call consumes the root registrations of the
+    owned edges it receives.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Set
+
+if TYPE_CHECKING:
+    from tools.repro_lint.analysis import AnalysisContext
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "PRAGMA",
+    "TRANSFER_PRAGMA",
+    "parse_suppressions",
+    "transfer_lines",
+    "posix",
+    "basename",
+    "in_rings",
+    "in_dd",
+    "in_sim",
+    "in_repro",
+    "in_lint_corpus",
+]
+
+PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+TRANSFER_PRAGMA = re.compile(r"#\s*repro-lint:\s*transfers-ownership\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline (line numbers
+        drift on unrelated edits; rule + path + message do not)."""
+        digest = hashlib.sha256(
+            f"{self.rule}|{posix(self.path)}|{self.message}".encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named check with a path scope.
+
+    ``check`` runs once per file with the file's AST and the shared
+    :class:`~tools.repro_lint.analysis.AnalysisContext`; ``project_check``
+    (optional) runs once per lint invocation over the cross-module
+    artifacts.  ``version`` participates in the incremental-cache key:
+    bump it whenever the rule's behaviour changes so stale cached
+    findings are invalidated.
+    """
+
+    code: str
+    summary: str
+    applies: Callable[[str], bool]
+    check: Callable[[ast.AST, str, "AnalysisContext"], Iterator[Finding]]
+    project_check: Optional[Callable[["AnalysisContext"], Iterator[Finding]]] = field(
+        default=None
+    )
+    version: int = 1
+
+
+# ---------------------------------------------------------------------------
+# Path scoping helpers shared by every rule module
+# ---------------------------------------------------------------------------
+
+
+def posix(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def basename(path: str) -> str:
+    return posix(path).rsplit("/", 1)[-1]
+
+
+def in_rings(path: str) -> bool:
+    return "repro/rings/" in posix(path)
+
+
+def in_dd(path: str) -> bool:
+    return "repro/dd/" in posix(path)
+
+
+def in_sim(path: str) -> bool:
+    return "repro/sim/" in posix(path)
+
+
+def in_repro(path: str) -> bool:
+    return "repro/" in posix(path) and not in_lint_corpus(path)
+
+
+def in_lint_corpus(path: str) -> bool:
+    """The linter's self-test corpus is exempt under its *real* path.
+
+    Corpus files are deliberate violations linted under their declared
+    virtual path by the tier-1 harness; the framework source itself
+    (``tools/repro_lint/*.py``) is **not** exempt -- the CI
+    ``lint-strict`` job self-lints it.
+    """
+    return "tools/repro_lint/tests/" in posix(path)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """``allow[...]`` pragma codes per line number."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = PRAGMA.search(line)
+        if match:
+            codes = {code.strip() for code in match.group(1).split(",")}
+            allowed[lineno] = {code for code in codes if code}
+    return allowed
+
+
+def transfer_lines(source: str) -> Set[int]:
+    """Line numbers carrying a ``transfers-ownership`` annotation."""
+    lines: Set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if TRANSFER_PRAGMA.search(line):
+            lines.add(lineno)
+    return lines

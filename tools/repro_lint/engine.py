@@ -1,0 +1,268 @@
+"""Lint engine: drives the per-file and project passes.
+
+Pass one parses each file once, runs every applicable per-file rule
+check, and extracts the serialisable :class:`FileFacts` record -- this
+pass is parallelisable (``--jobs``) and cacheable, because its output
+is a pure function of the file's content (plus the rule set and the
+observability catalog, both folded into the cache version).  Pass two
+runs each rule's optional ``project_check`` over the
+:class:`AnalysisContext` assembled from *all* facts; it reruns on every
+invocation so cross-file findings never go stale, but costs no parsing.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from tools.repro_lint.analysis import AnalysisContext, FileFacts, extract_facts
+from tools.repro_lint.cache import DEFAULT_CACHE_NAME, LintCache, file_digest
+from tools.repro_lint.core import Finding, posix
+from tools.repro_lint.registry import RULES, rules_signature
+
+__all__ = [
+    "LintRun",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "run_lint",
+    "resolve_jobs",
+]
+
+
+def iter_python_files(root: str) -> Iterator[str]:
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in ("__pycache__", ".git")]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _syntax_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        "RL000",
+        path,
+        error.lineno or 1,
+        (error.offset or 1) - 1,
+        f"syntax error: {error.msg}",
+    )
+
+
+def _check_file(
+    source: str, path: str, doc_path: Optional[Path] = None
+) -> Tuple[List[Finding], Optional[FileFacts]]:
+    """Per-file pass for one file: parse, facts, applicable rule checks,
+    line-pragma suppression.  Returns ``(findings, facts)``; facts are
+    ``None`` when the file does not parse."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [_syntax_finding(path, error)], None
+    facts = extract_facts(tree, path, source)
+    ctx = AnalysisContext({facts.path: facts}, doc_path=doc_path)
+    findings: List[Finding] = []
+    for rule in RULES:
+        if not rule.applies(path):
+            continue
+        for finding in rule.check(tree, path, ctx):
+            if facts.allows(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, facts
+
+
+def _project_findings(ctx: AnalysisContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in RULES:
+        if rule.project_check is None:
+            continue
+        findings.extend(rule.project_check(ctx))
+    return ctx.suppress(findings)
+
+
+# ---------------------------------------------------------------------------
+# Single-file convenience API (tier-1 corpus harness, editors)
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    source: str, path: str, doc_path: Optional[Path] = None
+) -> List[Finding]:
+    """Lint ``source`` as if it lived at ``path`` (rule scoping uses the
+    path, so tests can lint corpus snippets under virtual paths).
+
+    Runs the per-file checks *and* the project checks over a
+    single-file context, so dataflow rules with a project component
+    (e.g. transitive ring purity) are exercised too; project checks
+    that need the full tree gate themselves on ``ctx.is_full_tree``.
+    """
+    findings, facts = _check_file(source, path, doc_path=doc_path)
+    if facts is not None:
+        ctx = AnalysisContext({facts.path: facts}, doc_path=doc_path)
+        findings.extend(_project_findings(ctx))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Full two-pass lint of ``paths`` (no cache, sequential)."""
+    return run_lint(paths, jobs=1, use_cache=False).findings
+
+
+# ---------------------------------------------------------------------------
+# Batch engine with cache + jobs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintRun:
+    """Outcome of one engine invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+
+    @property
+    def cached_fraction(self) -> float:
+        return self.cache_hits / self.files if self.files else 0.0
+
+
+def resolve_jobs(spec: "str | int | None") -> int:
+    """``--jobs`` value -> worker count (``auto`` = CPU count)."""
+    if spec is None:
+        return 1
+    if isinstance(spec, int):
+        return max(1, spec)
+    text = str(spec).strip().lower()
+    if text == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        return max(1, int(text))
+    except ValueError:
+        raise SystemExit(f"repro_lint: invalid --jobs value {spec!r}")
+
+
+def _worker_check(
+    payload: Tuple[str, str, Optional[str]]
+) -> Tuple[str, List[Finding], Optional[FileFacts]]:
+    """Top-level (picklable) per-file task for the process pool."""
+    path, source, doc = payload
+    findings, facts = _check_file(
+        source, path, doc_path=Path(doc) if doc is not None else None
+    )
+    return path, findings, facts
+
+
+def _cache_version(doc_path: Path) -> str:
+    try:
+        doc_hash = file_digest(doc_path.read_bytes())
+    except OSError:
+        doc_hash = "absent"
+    return f"{rules_signature()}:{doc_hash}"
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_path: Optional[Path] = None,
+    doc_path: Optional[Path] = None,
+) -> LintRun:
+    """Two-pass lint of every Python file under ``paths``."""
+    from tools.repro_lint.analysis import default_doc_path
+
+    resolved_doc = doc_path if doc_path is not None else default_doc_path()
+    files: List[str] = []
+    for root in paths:
+        files.extend(iter_python_files(root))
+
+    cache: Optional[LintCache] = None
+    if use_cache:
+        resolved_cache = (
+            cache_path if cache_path is not None else Path(DEFAULT_CACHE_NAME)
+        )
+        cache = LintCache.load(resolved_cache, _cache_version(resolved_doc))
+
+    run = LintRun(jobs=jobs, files=len(files))
+    all_facts: Dict[str, FileFacts] = {}
+    findings: List[Finding] = []
+    pending: List[Tuple[str, str, os.stat_result, str]] = []  # path, source, stat, digest
+
+    for path in files:
+        key = posix(path)
+        stat = os.stat(path)
+        if cache is not None:
+            entry = cache.lookup(key, stat)
+            if entry is not None:
+                findings.extend(entry.findings)
+                if entry.facts is not None:
+                    all_facts[entry.facts.path] = entry.facts
+                continue
+        with open(path, "rb") as handle:
+            data = handle.read()
+        digest = file_digest(data)
+        if cache is not None:
+            entry = cache.lookup_by_digest(key, stat, digest)
+            if entry is not None:
+                findings.extend(entry.findings)
+                if entry.facts is not None:
+                    all_facts[entry.facts.path] = entry.facts
+                continue
+        pending.append((path, data.decode("utf-8"), stat, digest))
+
+    doc_arg = str(resolved_doc)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(
+                    _worker_check,
+                    [
+                        (path, source, doc_arg)
+                        for path, source, _stat, _digest in pending
+                    ],
+                )
+            )
+    else:
+        results = [
+            _worker_check((path, source, doc_arg))
+            for path, source, _stat, _digest in pending
+        ]
+
+    by_path = {path: (file_findings, facts) for path, file_findings, facts in results}
+    for path, _source, stat, digest in pending:
+        file_findings, facts = by_path[path]
+        findings.extend(file_findings)
+        if facts is not None:
+            all_facts[facts.path] = facts
+        if cache is not None:
+            cache.store(posix(path), stat, digest, file_findings, facts)
+
+    if cache is not None:
+        run.cache_hits, run.cache_misses = cache.stats()
+        cache.prune({posix(path) for path in files})
+        cache.save()
+    else:
+        run.cache_misses = len(pending)
+
+    ctx = AnalysisContext(all_facts, doc_path=resolved_doc)
+    findings.extend(_project_findings(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    run.findings = findings
+    return run

@@ -1,617 +1,34 @@
-r"""Project-specific static analysis for the canonical QMDD core.
+"""Back-compat shim for the pre-framework single-module linter.
 
-The runtime sanitizer (:mod:`repro.dd.sanitizer`) catches invariant
-violations when they *happen*; this linter rejects the code patterns
-that cause them before they run.  Every rule encodes one way the
-codebase has to protect canonicity:
-
-``RL001`` -- **no ``Node(...)`` construction outside the unique table.**
-    A node built by hand bypasses hash-consing: it can never be the
-    unique-table resident for its key, so pointer-equality canonicity
-    (and with it ``edges_equal`` and every compute-table key) silently
-    breaks.  Only ``repro/dd/unique_table.py`` (the interning site) and
-    ``repro/dd/edge.py`` (the terminal singleton) may call ``Node``.
-
-``RL002`` -- **no float/complex literals or ``math``/``cmath`` imports
-    in ``repro/rings/*``.**
-    The ring layer is the *exact* arithmetic core; a float sneaking in
-    turns an algebraic computation into a numeric one without anyone
-    choosing that trade-off.  Conversion boundaries (``to_complex``)
-    legitimately need float constants -- mark them with a pragma.
-
-``RL003`` -- **no ``==``/``!=`` against float or complex literals.**
-    The paper is *about* what happens when floating-point values are
-    compared naively; use the tolerance machinery (``ComplexTable``,
-    ``system.is_zero``) or an epsilon-aware helper.  Exact sentinel
-    comparisons (``eps == 0.0``) are pragma-annotated.
-
-``RL004`` -- **no mutation of interned weight objects.**
-    Ring elements and ``ComplexEntry`` instances are hash-consed and
-    shared; mutating one corrupts every DD that references it.  Flags
-    ``object.__setattr__`` escapes outside the ring constructors and
-    attribute assignment to known weight slots on anything but ``self``.
-
-``RL005`` -- **no unbounded dict memos in ``repro/dd/*``.**
-    Operation caches must go through :class:`ComputeTable` (bounded,
-    counted, evicted); a raw ``self._foo_cache = {}`` grows without
-    limit over a long simulation and is invisible to ``cache_stats``.
-    Small structurally-bounded tables (e.g. one entry per level) may be
-    pragma-annotated.
-
-``RL006`` -- **engine layers report through ``repro.obs``, not ad hoc.**
-    ``print(...)`` inside ``repro/dd``/``repro/numeric`` bypasses every
-    consumer surface (CLI tables, exporters, CI assertions), and a
-    ``self._op_counters = {}``-style dict is an unnamed metrics registry
-    nobody can snapshot.  Count through a registry instrument or expose
-    plain integer attributes read by a collector.
-
-``RL007`` -- **no reaching into unique-table internals.**
-    ``table._table`` / ``table._next_uid`` accessed on anything but
-    ``self`` mutates node residency behind the refcount and GC
-    bookkeeping: a node popped from the raw dict leaves its children's
-    refcounts stale and skips the compute-table invalidation hook.
-    Resident-set changes go through ``sweep``/``retain``/``clear`` (or
-    the memory manager); only ``repro/dd/unique_table.py`` and
-    ``repro/dd/mem.py`` may touch the internals.
-
-``RL008`` -- **no direct ``Simulator(...)`` construction outside the
-    facade.**
-    :mod:`repro.api` is the single construction path: a
-    ``SimulatorConfig`` validates eagerly, wires the sanitizer/GC/
-    telemetry consistently, and keeps jobs picklable for the batch
-    engine.  A hand-built ``Simulator(manager, gc=..., sanitize=...)``
-    re-opens the loose-kwarg surface the facade deprecates.  Only
-    ``repro/api.py`` may call the constructor; tests and benchmarks
-    (outside ``repro/``) are exempt by scope.
-
-Suppression: append ``# repro-lint: allow[RL00X]`` (comma-separated
-codes allowed) to the offending line.
-
-Usage::
-
-    python -m tools.repro_lint [path ...]     # default: src/repro
-
-Exit status is 1 iff any finding survives suppression.  The linter is
-dependency-free (stdlib ``ast`` only) so it runs anywhere the tests run.
+The monolithic implementation was split into the framework packages
+(:mod:`tools.repro_lint.core`, :mod:`tools.repro_lint.analysis`,
+:mod:`tools.repro_lint.rules`, :mod:`tools.repro_lint.engine`, ...).
+This module keeps the old import surface alive for external callers;
+new code should import from :mod:`tools.repro_lint` directly.
 """
 
-from __future__ import annotations
-
-import ast
-import os
-import re
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from tools.repro_lint.cli import main
+from tools.repro_lint.core import (
+    PRAGMA as _PRAGMA,
+    Finding,
+    Rule,
+    parse_suppressions as _suppressions,
+)
+from tools.repro_lint.engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from tools.repro_lint.registry import RULES
 
 __all__ = [
     "Finding",
     "Rule",
     "RULES",
-    "lint_source",
+    "iter_python_files",
     "lint_file",
     "lint_paths",
-    "iter_python_files",
+    "lint_source",
     "main",
 ]
-
-_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
-
-#: Attribute slots of the interned weight classes (``ComplexEntry``,
-#: ``DOmega``, ``QOmega``, ``ZOmega``, ``ZSqrt2``) that must never be
-#: assigned through a non-``self`` receiver.
-_WEIGHT_SLOTS = frozenset(
-    {"value", "index", "zeta", "k", "e", "a", "b", "c", "d", "u", "v"}
-)
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at a source location."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
-
-
-@dataclass(frozen=True)
-class Rule:
-    """A named check with a path scope."""
-
-    code: str
-    summary: str
-    applies: Callable[[str], bool]
-    check: Callable[[ast.AST, str], Iterator[Finding]]
-
-
-def _posix(path: str) -> str:
-    return path.replace(os.sep, "/")
-
-
-def _basename(path: str) -> str:
-    return _posix(path).rsplit("/", 1)[-1]
-
-
-def _in_rings(path: str) -> bool:
-    return "repro/rings/" in _posix(path)
-
-
-def _in_dd(path: str) -> bool:
-    return "repro/dd/" in _posix(path)
-
-
-def _in_repro(path: str) -> bool:
-    return "repro/" in _posix(path) and not _in_lint_corpus_real(path)
-
-
-def _in_lint_corpus_real(path: str) -> bool:
-    # The linter's own source and real (non-virtual) corpus paths are
-    # exempt -- corpus files are linted under their *declared* virtual
-    # path instead (see tests).
-    return "tools/repro_lint/" in _posix(path)
-
-
-# ---------------------------------------------------------------------------
-# RL001: Node() construction is the unique table's privilege
-# ---------------------------------------------------------------------------
-
-_NODE_ALLOWED_FILES = frozenset({"unique_table.py", "edge.py"})
-
-
-def _rl001_applies(path: str) -> bool:
-    return _in_repro(path) and _basename(path) not in _NODE_ALLOWED_FILES
-
-
-def _rl001_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        name = None
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        if name == "Node":
-            yield Finding(
-                "RL001",
-                path,
-                node.lineno,
-                node.col_offset,
-                "direct Node(...) construction bypasses the unique table; "
-                "build nodes through DDManager.make_node so they are "
-                "normalised and hash-consed",
-            )
-
-
-# ---------------------------------------------------------------------------
-# RL002: the ring layer stays exact
-# ---------------------------------------------------------------------------
-
-
-def _rl002_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                root = alias.name.split(".", 1)[0]
-                if root in ("math", "cmath"):
-                    yield Finding(
-                        "RL002",
-                        path,
-                        node.lineno,
-                        node.col_offset,
-                        f"import of {root!r} inside the exact ring layer; "
-                        "rings must not depend on floating-point math",
-                    )
-        elif isinstance(node, ast.ImportFrom):
-            root = (node.module or "").split(".", 1)[0]
-            if root in ("math", "cmath"):
-                yield Finding(
-                    "RL002",
-                    path,
-                    node.lineno,
-                    node.col_offset,
-                    f"import from {root!r} inside the exact ring layer; "
-                    "rings must not depend on floating-point math",
-                )
-        elif isinstance(node, ast.Constant) and isinstance(node.value, (float, complex)):
-            yield Finding(
-                "RL002",
-                path,
-                node.lineno,
-                node.col_offset,
-                f"{type(node.value).__name__} literal {node.value!r} inside "
-                "the exact ring layer; exact rings are integer-coefficient "
-                "(conversion boundaries may use a pragma)",
-            )
-
-
-# ---------------------------------------------------------------------------
-# RL003: no naive float/complex equality
-# ---------------------------------------------------------------------------
-
-
-def _rl003_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Compare):
-            continue
-        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-            continue
-        operands = [node.left, *node.comparators]
-        for operand in operands:
-            if isinstance(operand, ast.Constant) and isinstance(
-                operand.value, (float, complex)
-            ):
-                yield Finding(
-                    "RL003",
-                    path,
-                    node.lineno,
-                    node.col_offset,
-                    f"==/!= against {type(operand.value).__name__} literal "
-                    f"{operand.value!r}; use the tolerance machinery "
-                    "(system.is_zero, ComplexTable) or math.isclose "
-                    "(exact sentinel comparisons may use a pragma)",
-                )
-                break
-
-
-# ---------------------------------------------------------------------------
-# RL004: interned weights are immutable
-# ---------------------------------------------------------------------------
-
-
-def _receiver_name(target: ast.expr) -> str:
-    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
-        return target.value.id
-    return ""
-
-
-def _rl004_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    in_rings = _in_rings(path)
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            func = node.func
-            if (
-                isinstance(func, ast.Attribute)
-                and func.attr == "__setattr__"
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "object"
-            ):
-                first = node.args[0] if node.args else None
-                self_receiver = isinstance(first, ast.Name) and first.id == "self"
-                # Ring constructors initialise their frozen slots through
-                # object.__setattr__(self, ...); anywhere else this is an
-                # immutability escape hatch aimed at someone's interned
-                # object.
-                if not (in_rings and self_receiver):
-                    yield Finding(
-                        "RL004",
-                        path,
-                        node.lineno,
-                        node.col_offset,
-                        "object.__setattr__ outside a ring constructor "
-                        "mutates frozen interned state",
-                    )
-            continue
-        targets: List[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            targets = list(node.targets)
-        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-            targets = [node.target]
-        for target in targets:
-            if not isinstance(target, ast.Attribute):
-                continue
-            receiver = _receiver_name(target)
-            if receiver in ("", "self", "cls"):
-                continue
-            if target.attr in _WEIGHT_SLOTS:
-                yield Finding(
-                    "RL004",
-                    path,
-                    node.lineno,
-                    node.col_offset,
-                    f"assignment to {receiver}.{target.attr}: weight objects "
-                    "are interned and shared -- build a new value instead of "
-                    "mutating",
-                )
-
-
-def _rl004_applies(path: str) -> bool:
-    return _in_repro(path)
-
-
-# ---------------------------------------------------------------------------
-# RL005: DD-layer memos go through ComputeTable
-# ---------------------------------------------------------------------------
-
-
-def _is_empty_dict(value: "ast.expr | None") -> bool:
-    if isinstance(value, ast.Dict) and not value.keys:
-        return True
-    if (
-        isinstance(value, ast.Call)
-        and isinstance(value.func, ast.Name)
-        and value.func.id == "dict"
-        and not value.args
-        and not value.keywords
-    ):
-        return True
-    return False
-
-
-def _rl005_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        value = None
-        targets: List[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            value, targets = node.value, list(node.targets)
-        elif isinstance(node, ast.AnnAssign):
-            value, targets = node.value, [node.target]
-        if not _is_empty_dict(value):
-            continue
-        for target in targets:
-            if not (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                continue
-            lowered = target.attr.lower()
-            if "cache" in lowered or "memo" in lowered:
-                yield Finding(
-                    "RL005",
-                    path,
-                    node.lineno,
-                    node.col_offset,
-                    f"self.{target.attr} is an unbounded dict memo; "
-                    "DD-layer caches must use ComputeTable (bounded, "
-                    "counted, evictable) -- structurally bounded tables "
-                    "may use a pragma",
-                )
-
-
-# ---------------------------------------------------------------------------
-# RL006: engine observability goes through the repro.obs layer
-# ---------------------------------------------------------------------------
-
-_COUNTER_DICT_TAGS = ("counter", "stat", "metric")
-
-
-def _rl006_applies(path: str) -> bool:
-    return _in_dd(path) or "repro/numeric/" in _posix(path)
-
-
-def _rl006_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            if isinstance(node.func, ast.Name) and node.func.id == "print":
-                yield Finding(
-                    "RL006",
-                    path,
-                    node.lineno,
-                    node.col_offset,
-                    "print() inside the engine core; report through the "
-                    "repro.obs metrics registry / tracer and render at a "
-                    "consumer layer (CLI, benchmarks)",
-                )
-            continue
-        value = None
-        targets: List[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            value, targets = node.value, list(node.targets)
-        elif isinstance(node, ast.AnnAssign):
-            value, targets = node.value, [node.target]
-        if not _is_empty_dict(value):
-            continue
-        for target in targets:
-            if not (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                continue
-            lowered = target.attr.lower()
-            if any(tag in lowered for tag in _COUNTER_DICT_TAGS):
-                yield Finding(
-                    "RL006",
-                    path,
-                    node.lineno,
-                    node.col_offset,
-                    f"self.{target.attr} is an ad-hoc counter dict; register "
-                    "instruments on the repro.obs MetricsRegistry (or keep "
-                    "plain integer attributes read by a collector)",
-                )
-
-
-# ---------------------------------------------------------------------------
-# RL007: unique-table internals stay behind the lifecycle API
-# ---------------------------------------------------------------------------
-
-_UNIQUE_TABLE_INTERNALS = frozenset({"_table", "_next_uid"})
-_UNIQUE_TABLE_PRIVILEGED = frozenset({"unique_table.py", "mem.py"})
-
-
-def _rl007_applies(path: str) -> bool:
-    return _in_repro(path) and _basename(path) not in _UNIQUE_TABLE_PRIVILEGED
-
-
-def _rl007_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Attribute):
-            continue
-        if node.attr not in _UNIQUE_TABLE_INTERNALS:
-            continue
-        receiver = node.value
-        if isinstance(receiver, ast.Name) and receiver.id == "self":
-            continue
-        yield Finding(
-            "RL007",
-            path,
-            node.lineno,
-            node.col_offset,
-            f"access to unique-table internal {node.attr!r} outside the "
-            "lifecycle layer; resident-set changes must go through "
-            "sweep/retain/clear (or DDManager.memory) so refcounts stay "
-            "balanced and derived caches are invalidated",
-        )
-
-
-# ---------------------------------------------------------------------------
-# RL008: Simulator construction is the facade's privilege
-# ---------------------------------------------------------------------------
-
-
-def _rl008_applies(path: str) -> bool:
-    return _in_repro(path) and not _posix(path).endswith("repro/api.py")
-
-
-def _rl008_check(tree: ast.AST, path: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        name = None
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        if name == "Simulator":
-            yield Finding(
-                "RL008",
-                path,
-                node.lineno,
-                node.col_offset,
-                "direct Simulator(...) construction outside repro.api; "
-                "build a SimulatorConfig and go through repro.api "
-                "(run / run_batch / make_simulator / "
-                "SimulatorConfig.create_simulator)",
-            )
-
-
-RULES: Tuple[Rule, ...] = (
-    Rule("RL001", "Node() outside the unique table", _rl001_applies, _rl001_check),
-    Rule("RL002", "float/math leakage into exact rings", _in_rings, _rl002_check),
-    Rule("RL003", "naive float/complex equality", _in_repro, _rl003_check),
-    Rule("RL004", "mutation of interned weights", _rl004_applies, _rl004_check),
-    Rule("RL005", "unbounded dict memo in repro/dd", _in_dd, _rl005_check),
-    Rule(
-        "RL006",
-        "ad-hoc observability in the engine core",
-        _rl006_applies,
-        _rl006_check,
-    ),
-    Rule(
-        "RL007",
-        "unique-table internals accessed outside the lifecycle layer",
-        _rl007_applies,
-        _rl007_check,
-    ),
-    Rule(
-        "RL008",
-        "Simulator() construction outside the repro.api facade",
-        _rl008_applies,
-        _rl008_check,
-    ),
-)
-
-
-# ---------------------------------------------------------------------------
-# Driver
-# ---------------------------------------------------------------------------
-
-
-def _suppressions(source: str) -> Dict[int, Set[str]]:
-    allowed: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(line)
-        if match:
-            codes = {code.strip() for code in match.group(1).split(",")}
-            allowed[lineno] = {code for code in codes if code}
-    return allowed
-
-
-def lint_source(source: str, path: str) -> List[Finding]:
-    """Lint ``source`` as if it lived at ``path`` (rule scoping uses the
-    path, so tests can lint corpus snippets under virtual paths)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [
-            Finding(
-                "RL000",
-                path,
-                error.lineno or 1,
-                (error.offset or 1) - 1,
-                f"syntax error: {error.msg}",
-            )
-        ]
-    allowed = _suppressions(source)
-    findings: List[Finding] = []
-    for rule in RULES:
-        if not rule.applies(path):
-            continue
-        for finding in rule.check(tree, path):
-            if finding.rule in allowed.get(finding.line, ()):
-                continue
-            findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
-
-
-def lint_file(path: str) -> List[Finding]:
-    with open(path, "r", encoding="utf-8") as handle:
-        return lint_source(handle.read(), path)
-
-
-def iter_python_files(root: str) -> Iterator[str]:
-    if os.path.isfile(root):
-        yield root
-        return
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d not in ("__pycache__", ".git")]
-        for filename in sorted(filenames):
-            if filename.endswith(".py"):
-                yield os.path.join(dirpath, filename)
-
-
-def lint_paths(paths: Sequence[str]) -> List[Finding]:
-    findings: List[Finding] = []
-    for root in paths:
-        for path in iter_python_files(root):
-            findings.extend(lint_file(path))
-    return findings
-
-
-def main(argv: "Sequence[str] | None" = None) -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(
-        prog="repro-lint",
-        description="project-specific static checks for the QMDD core",
-    )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
-    )
-    args = parser.parse_args(argv)
-    if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.code}  {rule.summary}")
-        return 0
-    findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"repro-lint: {len(findings)} finding(s)")
-        return 1
-    print("repro-lint: clean")
-    return 0

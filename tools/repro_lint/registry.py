@@ -1,0 +1,72 @@
+"""Rule registry: auto-discovers every rule family in ``rules/``.
+
+Each module under :mod:`tools.repro_lint.rules` exports a module-level
+``RULES`` tuple; the registry imports them all with
+:func:`pkgutil.iter_modules`, validates code uniqueness, and exposes
+the assembled catalogue sorted by rule code.  Adding a rule family is
+dropping a module in the package -- there is no central list to edit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import pkgutil
+from typing import Dict, List, Tuple
+
+from tools.repro_lint import rules as _rules_package
+from tools.repro_lint.core import Rule
+
+__all__ = ["discover_rules", "RULES", "rules_by_code", "rules_signature", "catalogue_line"]
+
+
+def discover_rules() -> Tuple[Rule, ...]:
+    """Import every rule module and collect its ``RULES`` tuple."""
+    collected: List[Rule] = []
+    seen: Dict[str, str] = {}
+    for info in pkgutil.iter_modules(_rules_package.__path__):
+        if info.name.startswith("_"):
+            continue
+        module = importlib.import_module(f"{_rules_package.__name__}.{info.name}")
+        module_rules = getattr(module, "RULES", ())
+        for rule in module_rules:
+            if not isinstance(rule, Rule):
+                raise TypeError(
+                    f"{module.__name__}.RULES contains a non-Rule entry: {rule!r}"
+                )
+            if rule.code in seen:
+                raise ValueError(
+                    f"duplicate rule code {rule.code}: defined in both "
+                    f"{seen[rule.code]} and {module.__name__}"
+                )
+            seen[rule.code] = module.__name__
+            collected.append(rule)
+    collected.sort(key=lambda rule: rule.code)
+    return tuple(collected)
+
+
+RULES: Tuple[Rule, ...] = discover_rules()
+
+
+def rules_by_code() -> Dict[str, Rule]:
+    return {rule.code: rule for rule in RULES}
+
+
+def rules_signature() -> str:
+    """Cache-key component covering the active rule set.
+
+    Any change to the set of codes or to a rule's declared ``version``
+    invalidates every cached per-file result.
+    """
+    payload = ";".join(f"{rule.code}@{rule.version}" for rule in RULES)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def catalogue_line() -> str:
+    """Human-readable span of the registered catalogue, e.g.
+    ``"RL001-RL013"`` -- used by the package docstring and ``--list-rules``
+    so prose never goes stale again."""
+    if not RULES:
+        return "(no rules registered)"
+    first, last = RULES[0].code, RULES[-1].code
+    return first if first == last else f"{first}-{last}"

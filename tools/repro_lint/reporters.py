@@ -1,0 +1,112 @@
+"""Output layer: text, JSON and SARIF 2.1.0 reporters.
+
+Text is the human/CI-log format (one ``path:line:col: CODE message``
+per finding, matching compiler convention so editors can jump to it).
+JSON is the machine format for ad-hoc tooling.  SARIF is the exchange
+format code-scanning UIs ingest; the strict CI job uploads it as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from tools.repro_lint.core import Finding, Rule
+
+__all__ = ["render", "render_text", "render_json", "render_sarif", "FORMATS"]
+
+_TOOL_NAME = "repro_lint"
+_INFO_URI = "https://example.invalid/repro/docs/STATIC_ANALYSIS.md"
+
+
+def render_text(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    return "\n".join(str(finding) for finding in findings)
+
+
+def render_json(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    payload = {
+        "tool": _TOOL_NAME,
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rule(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.code,
+        "shortDescription": {"text": rule.summary},
+        "helpUri": _INFO_URI,
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _sarif_result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint()},
+    }
+
+
+def render_sarif(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": [_sarif_rule(rule) for rule in rules],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_sarif_result(finding) for finding in findings],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+def render(
+    fmt: str, findings: Iterable[Finding], rules: Sequence[Rule]
+) -> str:
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of {sorted(FORMATS)}"
+        )
+    ordered: List[Finding] = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    return renderer(ordered, rules)

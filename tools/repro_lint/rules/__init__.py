@@ -1,0 +1,8 @@
+"""Rule plugins, one module per rule family.
+
+Every module in this package defines a module-level ``RULES`` tuple of
+:class:`tools.repro_lint.core.Rule` objects; the registry
+(:mod:`tools.repro_lint.registry`) auto-discovers them with
+:func:`pkgutil.iter_modules`, so adding a rule family is: drop a module
+here, define ``RULES``, done -- no central list to keep in sync.
+"""

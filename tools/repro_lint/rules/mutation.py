@@ -1,0 +1,135 @@
+"""Interned-state mutation rules: RL004 (weights), RL005 (dict memos).
+
+Ring elements and ``ComplexEntry`` instances are hash-consed and
+shared: mutating one corrupts every DD that references it.  Operation
+caches must go through ``ComputeTable`` (bounded, counted, evicted) so
+``cache_stats`` and the GC can see them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List
+
+from tools.repro_lint.core import Finding, Rule, in_dd, in_repro, in_rings
+
+if TYPE_CHECKING:
+    from tools.repro_lint.analysis import AnalysisContext
+
+#: Attribute slots of the interned weight classes (``ComplexEntry``,
+#: ``DOmega``, ``QOmega``, ``ZOmega``, ``ZSqrt2``) that must never be
+#: assigned through a non-``self`` receiver.
+_WEIGHT_SLOTS = frozenset(
+    {"value", "index", "zeta", "k", "e", "a", "b", "c", "d", "u", "v"}
+)
+
+
+def _receiver_name(target: ast.expr) -> str:
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+        return target.value.id
+    return ""
+
+
+def _rl004_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    rings = in_rings(path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+            ):
+                first = node.args[0] if node.args else None
+                self_receiver = isinstance(first, ast.Name) and first.id == "self"
+                # Ring constructors initialise their frozen slots through
+                # object.__setattr__(self, ...); anywhere else this is an
+                # immutability escape hatch aimed at someone's interned
+                # object.
+                if not (rings and self_receiver):
+                    yield Finding(
+                        "RL004",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "object.__setattr__ outside a ring constructor "
+                        "mutates frozen interned state",
+                    )
+            continue
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            receiver = _receiver_name(target)
+            if receiver in ("", "self", "cls"):
+                continue
+            if target.attr in _WEIGHT_SLOTS:
+                yield Finding(
+                    "RL004",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"assignment to {receiver}.{target.attr}: weight objects "
+                    "are interned and shared -- build a new value instead of "
+                    "mutating",
+                )
+
+
+def _is_empty_dict(value: "ast.expr | None") -> bool:
+    if isinstance(value, ast.Dict) and not value.keys:
+        return True
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "dict"
+        and not value.args
+        and not value.keywords
+    ):
+        return True
+    return False
+
+
+def _rl005_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        value = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        if not _is_empty_dict(value):
+            continue
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            lowered = target.attr.lower()
+            if "cache" in lowered or "memo" in lowered:
+                yield Finding(
+                    "RL005",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"self.{target.attr} is an unbounded dict memo; "
+                    "DD-layer caches must use ComputeTable (bounded, "
+                    "counted, evictable) -- structurally bounded tables "
+                    "may use a pragma",
+                )
+
+
+RULES = (
+    Rule("RL004", "mutation of interned weights", in_repro, _rl004_check),
+    Rule("RL005", "unbounded dict memo in repro/dd", in_dd, _rl005_check),
+)

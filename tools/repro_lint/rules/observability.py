@@ -1,0 +1,181 @@
+"""Observability rules: RL006 (ad-hoc reporting) and RL012 (name drift).
+
+``docs/OBSERVABILITY.md`` is the contract dashboards and benchmark
+tooling are written against.  RL006 keeps reporting on the
+``repro.obs`` registry; RL012 keeps the registry and the contract in
+sync in *both* directions: an instrument registered in code must match
+a documented name pattern (and kind), and every concretely documented
+push instrument must be registered somewhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Set, Tuple
+
+from tools.repro_lint.core import Finding, Rule, in_dd, in_repro, posix
+
+if TYPE_CHECKING:
+    from tools.repro_lint.analysis import AnalysisContext
+
+# ---------------------------------------------------------------------------
+# RL006: engine observability goes through the repro.obs layer
+# ---------------------------------------------------------------------------
+
+_COUNTER_DICT_TAGS = ("counter", "stat", "metric")
+
+
+def _rl006_applies(path: str) -> bool:
+    return in_dd(path) or "repro/numeric/" in posix(path)
+
+
+def _is_empty_dict(value: "ast.expr | None") -> bool:
+    if isinstance(value, ast.Dict) and not value.keys:
+        return True
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "dict"
+        and not value.args
+        and not value.keywords
+    ):
+        return True
+    return False
+
+
+def _rl006_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield Finding(
+                    "RL006",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "print() inside the engine core; report through the "
+                    "repro.obs metrics registry / tracer and render at a "
+                    "consumer layer (CLI, benchmarks)",
+                )
+            continue
+        value = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        if not _is_empty_dict(value):
+            continue
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            lowered = target.attr.lower()
+            if any(tag in lowered for tag in _COUNTER_DICT_TAGS):
+                yield Finding(
+                    "RL006",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"self.{target.attr} is an ad-hoc counter dict; register "
+                    "instruments on the repro.obs MetricsRegistry (or keep "
+                    "plain integer attributes read by a collector)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL012: instrument-name drift between code and docs/OBSERVABILITY.md
+# ---------------------------------------------------------------------------
+
+
+def _rl012_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    """Forward direction: every registration matches a documented row."""
+    inventory = ctx.doc_inventory
+    if inventory is None:
+        return  # no catalog available in this run; nothing to drift from
+    facts = ctx.facts_for(path)
+    if facts is None:
+        return
+    for name, kind, line, col in facts.registrations:
+        entries = inventory.lookup(name)
+        if not entries:
+            yield Finding(
+                "RL012",
+                path,
+                line,
+                col,
+                f"instrument {name!r} ({kind}) is not documented in "
+                "docs/OBSERVABILITY.md; add a catalog row (dashboards are "
+                "written against that table) or rename to a documented "
+                "pattern",
+            )
+            continue
+        if not any(kind in entry.kinds for entry in entries):
+            documented = sorted({k for entry in entries for k in entry.kinds})
+            yield Finding(
+                "RL012",
+                path,
+                line,
+                col,
+                f"instrument {name!r} is registered as a {kind} but "
+                f"documented as {'/'.join(documented)} in "
+                "docs/OBSERVABILITY.md; reconcile the kind on whichever "
+                "side is wrong",
+            )
+
+
+def _rl012_project(ctx: "AnalysisContext") -> Iterator[Finding]:
+    """Reverse direction: every concretely documented push instrument is
+    registered somewhere.  Only meaningful on a full-tree run; wildcard
+    rows (``<label>`` with no finite alternation) are skipped because
+    their expansions are data-dependent.
+    """
+    inventory = ctx.doc_inventory
+    if inventory is None or not ctx.is_full_tree:
+        return
+    registered: Set[str] = set()
+    for path, facts in ctx.facts.items():
+        if in_repro(path):
+            registered.update(name for name, _kind, _l, _c in facts.registrations)
+    doc_path = posix(str(ctx.doc_path))
+    seen: Set[Tuple[str, int]] = set()
+    for entry in inventory.push_entries():
+        for name in entry.concrete_names:
+            if name in registered:
+                continue
+            mark = (name, entry.line)
+            if mark in seen:
+                continue
+            seen.add(mark)
+            yield Finding(
+                "RL012",
+                doc_path,
+                entry.line,
+                0,
+                f"documented push instrument {name!r} (row {entry.display!r}) "
+                "is not registered anywhere under src/repro; drop the row or "
+                "restore the registration",
+            )
+
+
+RULES = (
+    Rule(
+        "RL006",
+        "ad-hoc reporting (print / counter dicts) in the engine core",
+        _rl006_applies,
+        _rl006_check,
+    ),
+    Rule(
+        "RL012",
+        "instrument-name drift between code and docs/OBSERVABILITY.md",
+        in_repro,
+        _rl012_check,
+        project_check=_rl012_project,
+    ),
+)

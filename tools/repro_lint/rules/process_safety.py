@@ -1,0 +1,162 @@
+"""Process-safety rule: RL011.
+
+The batch engine ships jobs to worker *processes*; everything crossing
+the pool boundary is pickled.  Lambdas, locally-defined closures and
+bound methods either fail to pickle outright or silently drag the
+enclosing object graph (simulator state, open handles) into the worker
+-- the classic "works with threads, explodes with processes" trap.
+RL011 flags unpicklable callables and open file handles at the
+submission sites (``pool.submit`` / ``pool.map`` / ``run_batch``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Set
+
+from tools.repro_lint.core import Finding, Rule, in_repro
+
+if TYPE_CHECKING:
+    from tools.repro_lint.analysis import AnalysisContext
+
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+_BATCH_ENTRYPOINTS = frozenset({"run_batch"})
+
+
+def _call_simple_name(node: ast.Call) -> "str | None":
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _lambda_bound_names(scope: ast.AST) -> Set[str]:
+    """Names assigned a lambda anywhere in the scope."""
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _nested_function_names(scope: ast.AST) -> Set[str]:
+    """Functions defined *inside* this scope (unpicklable by qualname)."""
+    names: Set[str] = set()
+    for node in ast.iter_child_nodes(scope):
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inner is not scope:
+                    names.add(inner.name)
+    return names
+
+
+def _describe_unpicklable(
+    arg: ast.expr,
+    lambda_names: Set[str],
+    nested_names: Set[str],
+    first_positional: bool,
+) -> "str | None":
+    """Why this argument cannot cross a process boundary, or ``None``."""
+    if isinstance(arg, ast.Lambda):
+        return "a lambda"
+    if isinstance(arg, ast.Name) and arg.id in lambda_names:
+        return f"{arg.id!r}, which is bound to a lambda"
+    if first_positional:
+        if isinstance(arg, ast.Name) and arg.id in nested_names:
+            return f"locally-defined function {arg.id!r}"
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+        ):
+            return f"bound method 'self.{arg.attr}'"
+    if isinstance(arg, ast.Call) and _call_simple_name(arg) == "open":
+        return "an open file handle"
+    return None
+
+
+def _rl011_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    # A call nested in a function is visited from both the module scope
+    # and its enclosing function scope(s); report each site once.
+    seen: "Set[tuple]" = set()
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            continue
+        lambda_names = _lambda_bound_names(scope)
+        nested_names = (
+            _nested_function_names(scope)
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else set()
+        )
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_simple_name(node)
+            is_submit = (
+                isinstance(node.func, ast.Attribute) and name in _SUBMIT_METHODS
+            )
+            is_batch = name in _BATCH_ENTRYPOINTS
+            if not (is_submit or is_batch):
+                continue
+            boundary = (
+                f"pool.{name}()" if is_submit else f"{name}()"
+            )
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for position, arg in enumerate(args):
+                first_positional = is_submit and position == 0
+                # For submit/map only the callable slot gets the
+                # bound-method / nested-function treatment; handles and
+                # lambdas are rejected in any slot.
+                reason = _describe_unpicklable(
+                    arg, lambda_names, nested_names, first_positional
+                )
+                if reason is None and not first_positional:
+                    # Walk nested expressions (e.g. a lambda inside a
+                    # list of jobs handed to run_batch).
+                    for inner in ast.walk(arg):
+                        if inner is arg:
+                            continue
+                        if isinstance(inner, ast.Lambda):
+                            reason = "a lambda"
+                            break
+                        if isinstance(inner, ast.Name) and inner.id in lambda_names:
+                            reason = f"{inner.id!r}, which is bound to a lambda"
+                            break
+                        if (
+                            isinstance(inner, ast.Call)
+                            and _call_simple_name(inner) == "open"
+                        ):
+                            reason = "an open file handle"
+                            break
+                if reason is not None:
+                    mark = (arg.lineno, arg.col_offset)
+                    if mark in seen:
+                        break
+                    seen.add(mark)
+                    yield Finding(
+                        "RL011",
+                        path,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"{reason} is handed to {boundary}, which crosses a "
+                        "process boundary; workers receive arguments by "
+                        "pickling, so pass a module-level function and "
+                        "plain-data payloads (open files inside the worker)",
+                    )
+                    break  # one finding per submission call is enough
+
+
+RULES = (
+    Rule(
+        "RL011",
+        "unpicklable callable or handle crossing the process-pool boundary",
+        in_repro,
+        _rl011_check,
+    ),
+)

@@ -1,0 +1,304 @@
+"""Exact-arithmetic hygiene: RL002, RL003 and the RL010 purity dataflow.
+
+The paper's central claim -- algebraic/GCD number systems keep DD
+simulation *exact* while floats silently drift -- only holds if the
+ring layer stays a pure, integer-coefficient core.  RL002/RL003 police
+the obvious leaks (float literals, naive float equality); RL010 is the
+dataflow extension:
+
+* ring functions must not mutate their ring-value arguments,
+* the ring layer must not hold module-global mutable state, and
+* no float/complex literal may *flow* into a ``NumberSystem`` weight
+  operation in the DD/sim layers (``system.mul(w, 0.5)`` turns an
+  algebraic computation into a numeric one without anyone choosing
+  that trade-off).
+
+The project-level pass additionally reports ring functions that are
+directly pure but call an impure ring function (transitive impurity
+via the cross-module call graph).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set
+
+from tools.repro_lint.core import (
+    Finding,
+    Rule,
+    in_dd,
+    in_rings,
+    in_sim,
+)
+
+if TYPE_CHECKING:
+    from tools.repro_lint.analysis import AnalysisContext
+
+# ---------------------------------------------------------------------------
+# RL002: the ring layer stays exact (no float literals / math imports)
+# ---------------------------------------------------------------------------
+
+
+def _rl002_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in ("math", "cmath"):
+                    yield Finding(
+                        "RL002",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        f"import of {root!r} inside the exact ring layer; "
+                        "rings must not depend on floating-point math",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".", 1)[0]
+            if root in ("math", "cmath"):
+                yield Finding(
+                    "RL002",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"import from {root!r} inside the exact ring layer; "
+                    "rings must not depend on floating-point math",
+                )
+        elif isinstance(node, ast.Constant) and isinstance(node.value, (float, complex)):
+            yield Finding(
+                "RL002",
+                path,
+                node.lineno,
+                node.col_offset,
+                f"{type(node.value).__name__} literal {node.value!r} inside "
+                "the exact ring layer; exact rings are integer-coefficient "
+                "(conversion boundaries may use a pragma)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RL003: no naive float/complex equality
+# ---------------------------------------------------------------------------
+
+
+def _rl003_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        for operand in [node.left, *node.comparators]:
+            if isinstance(operand, ast.Constant) and isinstance(
+                operand.value, (float, complex)
+            ):
+                yield Finding(
+                    "RL003",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"==/!= against {type(operand.value).__name__} literal "
+                    f"{operand.value!r}; use the tolerance machinery "
+                    "(system.is_zero, ComplexTable) or math.isclose "
+                    "(exact sentinel comparisons may use a pragma)",
+                )
+                break
+
+
+def _in_repro_rl003(path: str) -> bool:
+    from tools.repro_lint.core import in_repro
+
+    return in_repro(path)
+
+
+# ---------------------------------------------------------------------------
+# RL010: ring purity (dataflow)
+# ---------------------------------------------------------------------------
+
+#: ``NumberSystem`` operations that consume interned ring weights.  A
+#: float literal flowing into one of these is exactly the silent
+#: exact->numeric downgrade the paper warns about.  Conversion
+#: boundaries (``from_complex`` / ``to_complex``) are deliberately
+#: absent: they exist to cross the float boundary.
+WEIGHT_OPS = frozenset(
+    {
+        "add",
+        "mul",
+        "neg",
+        "conj",
+        "normalize",
+        "normalize_keyed",
+        "division_helper",
+        "is_zero",
+        "is_one",
+        "key",
+        "value_for_key",
+    }
+)
+
+
+def _rl010_applies(path: str) -> bool:
+    return in_rings(path) or in_dd(path) or in_sim(path)
+
+
+def _float_tainted_names(fn: ast.AST) -> Set[str]:
+    """Names assigned a float/complex literal (one level of flow)."""
+
+    def is_float_expr(expr: ast.expr, tainted: Set[str]) -> bool:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, (float, complex)):
+            return True
+        if isinstance(expr, ast.Name) and expr.id in tainted:
+            return True
+        if isinstance(expr, ast.BinOp):
+            return is_float_expr(expr.left, tainted) or is_float_expr(
+                expr.right, tainted
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return is_float_expr(expr.operand, tainted)
+        return False
+
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and node.value is not None:
+                if is_float_expr(node.value, tainted):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id not in tainted:
+                            tainted.add(target.id)
+                            changed = True
+    return tainted
+
+
+def _receiver_is_number_system(func: ast.Attribute) -> bool:
+    """Heuristic: the receiver expression names a number system.
+
+    Matches ``system.mul``, ``self.system.add``, ``manager.system.key``,
+    ``self._system.normalize`` -- anything whose receiver path ends in
+    ``system`` (set/dict ``.add`` false positives are excluded because
+    their receivers do not).
+    """
+    try:
+        text = ast.unparse(func.value)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return False
+    return text == "system" or text.endswith(".system") or text.endswith("_system")
+
+
+def _rl010_float_flow(
+    tree: ast.AST, path: str
+) -> Iterator[Finding]:
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            continue
+        tainted = _float_tainted_names(scope)
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in WEIGHT_OPS
+                and _receiver_is_number_system(func)
+            ):
+                continue
+            for arg in node.args:
+                bad = None
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, (float, complex)
+                ):
+                    bad = repr(arg.value)
+                elif isinstance(arg, ast.Name) and arg.id in tainted:
+                    bad = f"{arg.id} (assigned a float literal)"
+                if bad is not None:
+                    yield Finding(
+                        "RL010",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        f"float value {bad} flows into NumberSystem weight "
+                        f"op .{func.attr}(); interned ring weights must come "
+                        "from the system's own constructors / from_complex "
+                        "(conversion boundaries may use a pragma)",
+                    )
+
+
+def _rl010_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    if in_rings(path):
+        facts = ctx.facts_for(path)
+        if facts is None:
+            return
+        for issue in facts.module_purity_issues:
+            yield Finding("RL010", path, issue.line, issue.col, issue.message)
+        for fn in facts.functions:
+            if fn.name in ("__init__", "__new__", "__post_init__"):
+                continue
+            for issue in fn.purity_issues:
+                yield Finding("RL010", path, issue.line, issue.col, issue.message)
+    else:
+        seen: Set[tuple] = set()
+        for finding in _rl010_float_flow(tree, path):
+            key = (finding.line, finding.col, finding.message)
+            if key not in seen:
+                seen.add(key)
+                yield finding
+
+
+def _rl010_project(ctx: "AnalysisContext") -> Iterator[Finding]:
+    """Transitive impurity: pure ring functions calling impure ones."""
+    impure: Dict[str, List[str]] = {}
+    ring_functions = []
+    for path, facts in ctx.facts.items():
+        if not in_rings(path):
+            continue
+        for fn in facts.functions:
+            if fn.name in ("__init__", "__new__", "__post_init__"):
+                continue
+            ring_functions.append((path, fn))
+            if not fn.directly_pure:
+                impure.setdefault(fn.name, []).append(fn.qualname)
+
+    # Fixpoint: calling an impure ring function is itself impure.
+    transitively: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for path, fn in ring_functions:
+            if fn.name in impure or fn.name in transitively:
+                continue
+            culprits = fn.calls & (set(impure) | set(transitively))
+            if culprits:
+                transitively[fn.name] = sorted(culprits)[0]
+                changed = True
+
+    for path, fn in ring_functions:
+        if fn.name in transitively:
+            yield Finding(
+                "RL010",
+                path,
+                fn.lineno,
+                0,
+                f"ring function {fn.qualname!r} is transitively impure: it "
+                f"calls {transitively[fn.name]!r}, which mutates arguments "
+                "or module state",
+            )
+
+
+RULES = (
+    Rule("RL002", "float/math leakage into exact rings", in_rings, _rl002_check),
+    Rule("RL003", "naive float/complex equality", _in_repro_rl003, _rl003_check),
+    Rule(
+        "RL010",
+        "ring purity: argument mutation, module state, float dataflow",
+        _rl010_applies,
+        _rl010_check,
+        project_check=_rl010_project,
+        version=1,
+    ),
+)

@@ -1,0 +1,57 @@
+# lint-path: src/repro/dd/rogue_roots.py
+"""RL009: every inc_ref must reach a dec_ref or a declared transfer."""
+
+
+def leaks_on_early_return(memory, state, flag):
+    memory.inc_ref(state)  # lint-expect: RL009
+    if flag:
+        return None  # leak: still registered on this path
+    memory.dec_ref(state)
+    return state
+
+
+def leaks_on_raise(memory, edge):
+    memory.inc_ref(edge)  # lint-expect: RL009
+    if edge.node.is_terminal:
+        raise ValueError("terminal edges need no root")
+    memory.dec_ref(edge)
+
+
+def balanced_with_finally(memory, edge, compute):
+    memory.inc_ref(edge)
+    try:
+        return compute(edge)
+    finally:
+        memory.dec_ref(edge)
+
+
+def balanced_alias_move(memory, state, operations):
+    # The evolving-state idiom from Simulator.run: registration follows
+    # the value through `state = new_state`.
+    memory.inc_ref(state)
+    for operation in operations:
+        new_state = operation(state)
+        memory.inc_ref(new_state)
+        memory.dec_ref(state)
+        state = new_state
+    memory.dec_ref(state)
+
+
+def declared_transfer(memory, result_factory, state):
+    # Ownership deliberately moves into the returned result object;
+    # the annotated call consumes the registration.
+    memory.inc_ref(state)
+    return result_factory(state)  # repro-lint: transfers-ownership
+
+
+def declared_transfer_acquisition(memory, registry, edge):
+    # Annotating the acquisition itself: the registration is handed to
+    # a long-lived registry that releases it at shutdown.
+    memory.inc_ref(edge)  # repro-lint: transfers-ownership
+    registry.adopt(edge)
+
+
+def suppressed_leak(memory, edge):
+    # Deliberate: kept alive for the life of the process.
+    memory.inc_ref(edge)  # repro-lint: allow[RL009]
+    return edge

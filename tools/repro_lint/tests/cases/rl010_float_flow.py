@@ -1,0 +1,26 @@
+# lint-path: src/repro/dd/rogue_weights.py
+"""RL010: float literals must not flow into NumberSystem weight ops."""
+
+
+def shrink_direct(system, weight):
+    return system.mul(weight, 0.5)  # lint-expect: RL010
+
+
+def shrink_via_local(system, weight):
+    half = 1.0 / 2  # tainted local
+    return system.mul(weight, half)  # lint-expect: RL010
+
+
+def blessed_boundary(system, amplitude):
+    # from_complex is the conversion boundary: floats are expected.
+    return system.from_complex(amplitude * 0.5)
+
+
+def exact_scale(system, weight, factor):
+    # Exact path: the factor is already an interned ring value.
+    return system.mul(weight, factor)
+
+
+def suppressed_probe(system, weight):
+    # Calibration probe, deliberately numeric.
+    return system.mul(weight, 0.25)  # repro-lint: allow[RL010]

@@ -1,0 +1,39 @@
+# lint-path: src/repro/rings/rogue_ring.py
+"""RL010: ring purity -- no argument mutation, no module state."""
+
+_MEMO = {}  # lint-expect: RL010
+
+
+def scale_in_place(values, factor):
+    for index in range(len(values)):
+        values[index] = values[index] * factor  # lint-expect: RL010
+    return values
+
+
+def append_conjugate(values, item):
+    values.append(item)  # lint-expect: RL010
+    return values
+
+
+def count_calls(key):
+    global _CALLS  # lint-expect: RL010
+    _CALLS = key
+    return key
+
+
+def normalize_pair(left, right):  # lint-expect: RL010
+    # Directly pure, but transitively impure: it delegates to the
+    # in-place helper above (flagged by the project-level pass).
+    return scale_in_place(left, right)
+
+
+def defensive_copy(values, factor):
+    # Rebinding the parameter to a fresh list first keeps this pure.
+    values = list(values)
+    values[0] = values[0] * factor
+    return values
+
+
+def suppressed_scrub(values):
+    # Deliberate in-place API, documented at every call site.
+    values.clear()  # repro-lint: allow[RL010]

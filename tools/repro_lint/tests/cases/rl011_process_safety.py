@@ -1,0 +1,50 @@
+# lint-path: src/repro/exec/rogue_batch.py
+"""RL011: payloads crossing the process-pool boundary must pickle."""
+
+
+def execute_job(job):
+    # Module-level function: picklable by qualified name.
+    return job
+
+
+def submit_lambda(pool, jobs):
+    return [pool.submit(lambda job: job.run(), job) for job in jobs]  # lint-expect: RL011
+
+
+def submit_named_lambda(pool, job):
+    runner = lambda: job.run()  # noqa: E731 -- deliberate bad example
+    return pool.submit(runner)  # lint-expect: RL011
+
+
+def submit_nested(pool, payload):
+    def worker(item):
+        return item
+
+    return pool.submit(worker, payload)  # lint-expect: RL011
+
+
+def submit_open_handle(pool, path):
+    return pool.submit(execute_job, open(path, "rb"))  # lint-expect: RL011
+
+
+def batch_with_lambda_callback(requests, run_batch):
+    post = lambda result: result.node_count  # noqa: E731
+    return run_batch(requests, on_result=post)  # lint-expect: RL011
+
+
+class RogueRunner:
+    def run_all(self, pool, jobs):
+        return [pool.submit(self.execute, job) for job in jobs]  # lint-expect: RL011
+
+    def execute(self, job):
+        return job
+
+
+def clean_submission(pool, jobs):
+    # The blessed shape: module-level callable, plain-data payloads.
+    return [pool.submit(execute_job, job) for job in jobs]
+
+
+def suppressed(pool, job):
+    # In-process executor shim used by a test double.
+    return pool.submit(lambda: job)  # repro-lint: allow[RL011]

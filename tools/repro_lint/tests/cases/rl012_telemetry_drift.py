@@ -1,0 +1,19 @@
+# lint-path: src/repro/obs/rogue_metrics.py
+"""RL012: instrument names must match the docs/OBSERVABILITY.md table."""
+
+
+def register_instruments(registry):
+    undocumented = registry.counter("rogue.instrument.name")  # lint-expect: RL012
+    wrong_kind = registry.histogram("sim.gates")  # lint-expect: RL012
+    documented = registry.counter("sim.gates")
+    return undocumented, wrong_kind, documented
+
+
+def register_pattern_member(registry):
+    # Matches the documented `exec.batch.*` rows.
+    return registry.gauge("exec.batch.workers")
+
+
+def suppressed_experiment(registry):
+    # Experimental instrument, deliberately not in the catalog yet.
+    return registry.counter("exp.scratch.probe")  # repro-lint: allow[RL012]

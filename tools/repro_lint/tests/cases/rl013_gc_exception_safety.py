@@ -1,0 +1,26 @@
+# lint-path: src/repro/dd/mem.py
+"""RL013: no state committed between budget check and a possible raise."""
+
+
+class RogueManager:
+    def enforce_budget(self):
+        if self.over_budget():
+            raise MemoryBudgetExceeded("live state exceeds the budget")
+
+    def trigger(self):
+        self._threshold = self._threshold * 2  # lint-expect: RL013
+        self.enforce_budget()
+        self._collections = self._collections + 1  # safe: after the check
+
+    def trigger_transitively(self):
+        self._policy["mode"] = "grow"  # lint-expect: RL013
+        self.trigger()
+
+    def safe_order(self):
+        self.enforce_budget()
+        self._threshold = self._threshold * 2
+
+    def suppressed_high_water(self, nodes):
+        # Monotone high-water mark: truthful even if enforcement raises.
+        self.peak_nodes = max(self.peak_nodes, nodes)  # repro-lint: allow[RL013]
+        self.enforce_budget()
