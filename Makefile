@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean lint lint-baseline typecheck sanitize-smoke gc-smoke batch-smoke
+.PHONY: install test bench figures examples clean lint lint-baseline typecheck sanitize-smoke gc-smoke batch-smoke perf-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -58,6 +58,21 @@ batch-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli batch --algorithm grover \
 	    --qubits 5 --include-gcd --workers 4 --retries 1
 	PYTHONPATH=src $(PYTHON) -m pytest tests/exec/test_batch.py -q
+
+# Performance-observatory smoke: record fresh BENCH_*.json records for
+# the small workloads, compare them against the committed baselines
+# (informational -- regressions print but do not fail), and exercise a
+# traced multi-process batch end-to-end.
+perf-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli perf record \
+	    --workloads ghz_16q,grover_5q --repeats 3 \
+	    --out-dir benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m repro.cli perf compare \
+	    --baseline-dir benchmarks/baselines \
+	    --current-dir benchmarks/results --informational
+	PYTHONPATH=src $(PYTHON) -m repro.cli batch --algorithm grover \
+	    --qubits 5 --workers 2 \
+	    --trace-out benchmarks/results/batch_trace.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

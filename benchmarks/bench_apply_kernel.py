@@ -86,18 +86,20 @@ def _timed_run(operations, num_qubits, factory, use_kernel):
     return elapsed, manager
 
 
-def _interleaved_best(operations, num_qubits, factory):
-    """min-of-REPS for both paths, interleaved so machine noise hits both."""
+def _interleaved_samples(operations, num_qubits, factory):
+    """Per-rep seconds for both paths, interleaved so noise hits both."""
     _timed_run(operations, num_qubits, factory, True)  # warm-up (imports, pyc)
-    kernel_best = old_best = float("inf")
+    kernel_samples, old_samples = [], []
+    kernel_best = float("inf")
     kernel_manager = None
     for _ in range(REPS):
         elapsed, manager = _timed_run(operations, num_qubits, factory, True)
+        kernel_samples.append(elapsed)
         if elapsed < kernel_best:
             kernel_best, kernel_manager = elapsed, manager
         elapsed, _ = _timed_run(operations, num_qubits, factory, False)
-        old_best = min(old_best, elapsed)
-    return kernel_best, old_best, kernel_manager
+        old_samples.append(elapsed)
+    return kernel_samples, old_samples, kernel_manager
 
 
 def _hit_rate_lines(manager):
@@ -168,7 +170,7 @@ def test_final_states_identical(circuits, kind):
         )
 
 
-def test_apply_kernel_report(benchmark, circuits, artifact_writer):
+def test_apply_kernel_report(benchmark, circuits, artifact_writer, bench_recorder):
     rows = []
     cache_sections = []
     grover_label = f"grover-{GROVER_QUBITS}q"
@@ -177,9 +179,10 @@ def test_apply_kernel_report(benchmark, circuits, artifact_writer):
     def measure():
         for label, (operations, num_qubits) in circuits.items():
             for kind, factory in SYSTEMS.items():
-                kernel_best, old_best, manager = _interleaved_best(
+                kernel_samples, old_samples, manager = _interleaved_samples(
                     operations, num_qubits, factory
                 )
+                kernel_best, old_best = min(kernel_samples), min(old_samples)
                 speedup = old_best / kernel_best
                 speedups[(label, kind)] = speedup
                 rows.append(
@@ -189,6 +192,23 @@ def test_apply_kernel_report(benchmark, circuits, artifact_writer):
                 cache_sections.append(
                     f"  {label}/{kind} (kernel path)\n"
                     + "\n".join(_hit_rate_lines(manager))
+                )
+                # Machine-readable twin of this row (repro.obs.perf
+                # schema): kernel-path timings, table counters.
+                snapshot = manager.telemetry.metrics.snapshot()
+                bench_recorder(
+                    f"apply_kernel/{label}/{kind}",
+                    kernel_samples,
+                    {"system": kind, "path": "kernel", "workload": label},
+                    {
+                        key: snapshot[key]
+                        for key in (
+                            "dd.apply.direct",
+                            "dd.apply.delegated",
+                            "dd.ct.apply.hit_rate",
+                        )
+                        if key in snapshot
+                    },
                 )
         return len(rows)
 

@@ -54,7 +54,7 @@ def _timed_run(circuit, factory, gc_config):
     return elapsed, manager, result
 
 
-def test_gc_overhead(artifact_writer):
+def test_gc_overhead(artifact_writer, bench_recorder):
     circuit = grover_circuit(GROVER_QUBITS, 5)
     config = MemoryConfig(threshold=GC_THRESHOLD)
     lines = [
@@ -68,19 +68,33 @@ def test_gc_overhead(artifact_writer):
     failures = []
     for name, factory in SYSTEMS.items():
         _timed_run(circuit, factory, None)  # warm-up
-        best_off = best_on = float("inf")
+        samples_off, samples_on = [], []
         stats = None
         for _ in range(REPS):
-            best_off = min(best_off, _timed_run(circuit, factory, None)[0])
+            samples_off.append(_timed_run(circuit, factory, None)[0])
             elapsed, manager, _ = _timed_run(circuit, factory, config)
-            best_on = min(best_on, elapsed)
+            samples_on.append(elapsed)
             stats = manager.memory.statistics()
+        best_off, best_on = min(samples_off), min(samples_on)
         ratio = best_on / best_off
         lines.append(
             f"{name:14s} off={best_off:8.4f}s gc-on={best_on:8.4f}s "
             f"({ratio:4.2f}x)  collections={stats['collections']} "
             f"swept_nodes={stats['swept_nodes']} "
             f"peak={stats['peak_resident_nodes']}"
+        )
+        # Machine-readable twin (repro.obs.perf schema): gc-on timings
+        # plus the collector's own statistics as counters.
+        bench_recorder(
+            f"gc_overhead/{name}",
+            samples_on,
+            {"system": name, "threshold": GC_THRESHOLD, "gc": "on"},
+            {
+                "collections": stats["collections"],
+                "swept_nodes": stats["swept_nodes"],
+                "peak_resident_nodes": stats["peak_resident_nodes"],
+                "gc_off_best_seconds": best_off,
+            },
         )
         if ratio > MAX_GC_OVERHEAD:
             failures.append((name, ratio))

@@ -61,7 +61,7 @@ from repro.dd.manager import (
 )
 from repro.dd.mem import MemoryBudget, MemoryConfig
 from repro.errors import ConfigError
-from repro.obs import Telemetry
+from repro.obs import Telemetry, TraceContext
 from repro.sim.simulator import Simulator
 from repro.sim.trace import SimulationTrace
 
@@ -257,12 +257,21 @@ class RunRequest:
     series into the returned trace (plus ``final_error`` and
     ``fidelity`` on the result) -- this is how the eps-tradeoff sweep
     runs as an embarrassingly parallel batch.
+
+    ``trace_context`` is the distributed-tracing context
+    (:class:`~repro.obs.TraceContext`: trace id, parent span id, clock
+    anchor) injected by :func:`run_batch` when its coordinator
+    telemetry has tracing enabled; callers never set it by hand.  A
+    worker that receives one records spans and ships them home in the
+    job outcome for re-parenting under the coordinator's ``exec.batch``
+    span.  It has no effect on simulation results.
     """
 
     circuit: Circuit
     config: SimulatorConfig = SimulatorConfig()
     label: Optional[str] = None
     error_reference: Optional[SimulatorConfig] = None
+    trace_context: Optional[TraceContext] = None
 
     @property
     def job_label(self) -> str:

@@ -41,6 +41,19 @@ Subcommands mirror the evaluation workflow:
     Run one benchmark and export the span ring as Chrome
     ``trace_event`` JSON (open in https://ui.perfetto.dev).
 
+``repro-qmdd batch ... --trace-out batch_trace.json``
+    Same batch run with distributed tracing on: every worker ships its
+    spans home and the export is one multi-process Chrome trace --
+    the coordinator's ``exec.batch`` span on track 0, each worker's
+    ``exec.job``/``sim.gate`` spans on their own pid track.
+
+``repro-qmdd perf record|compare|report``
+    The performance observatory (see ``repro.obs.perf``): record
+    median-of-N benchmark workloads as versioned ``BENCH_*.json``
+    documents, compare them against the committed baselines in
+    ``benchmarks/baselines/`` with noise-aware bands (non-zero exit on
+    regression), and print result tables.
+
 The simulation flags (``--system``, ``--eps``, ``--gc``,
 ``--sanitize``, ``--workers``) are spelled and defaulted identically
 on every sweep-capable subcommand; they come from one shared parent
@@ -171,12 +184,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     requests = tradeoff_requests(
         circuit, epsilons=epsilons, include_gcd=args.include_gcd
     )
+    # A tracing-enabled coordinator scope switches on distributed
+    # tracing: run_batch injects a TraceContext into every job and
+    # re-parents the shipped worker spans under its exec.batch span.
+    telemetry = Telemetry.tracing() if args.trace_out else None
     batch = run_batch(
         requests,
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
         backoff=args.backoff,
+        telemetry=telemetry,
     )
     report = batch.to_dict()
     print(
@@ -208,6 +226,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print()
     print("fleet-merged telemetry:")
     print(render_metrics(batch.metrics))
+    if args.trace_out:
+        assert telemetry is not None
+        document = write_chrome_trace(telemetry.tracer.spans(), args.trace_out)
+        print(
+            f"wrote {len(document['traceEvents'])} trace events "
+            f"(trace id {batch.trace_id}) to {args.trace_out} "
+            "(open in https://ui.perfetto.dev or chrome://tracing)"
+        )
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -329,6 +355,96 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     if telemetry.tracer.dropped:
         print(f"(ring full: {telemetry.tracer.dropped} older spans dropped)")
+    return 0
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from repro.errors import BenchFormatError
+    from repro.obs import perf
+
+    names = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else perf.workload_names()
+    )
+    records = []
+    try:
+        for name in names:
+            record = perf.record_workload(
+                name, repeats=args.repeats, system=args.system
+            )
+            path = perf.save_record(record, args.out_dir)
+            print(f"recorded {name}: {path}")
+            records.append(record)
+    except BenchFormatError as error:
+        print(f"perf record: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(perf.format_record_report(records))
+    return 0
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.errors import BenchFormatError
+    from repro.obs import perf
+
+    try:
+        baselines = {
+            record.workload: record
+            for record in map(perf.load_record, perf.list_records(args.baseline_dir))
+        }
+        currents = {
+            record.workload: record
+            for record in map(perf.load_record, perf.list_records(args.current_dir))
+        }
+    except BenchFormatError as error:
+        print(f"perf compare: {error}", file=sys.stderr)
+        return 2
+    if not baselines:
+        print(f"perf compare: no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+    shared = sorted(baselines.keys() & currents.keys())
+    comparisons = []
+    try:
+        for name in shared:
+            comparisons.append(
+                perf.compare_records(
+                    baselines[name], currents[name], min_rel=args.min_rel
+                )
+            )
+    except BenchFormatError as error:
+        print(f"perf compare: {error}", file=sys.stderr)
+        return 2
+    print(perf.format_comparison_report(comparisons))
+    for name in sorted(baselines.keys() - currents.keys()):
+        print(f"note: baseline {name} has no current record (not compared)")
+    for name in sorted(currents.keys() - baselines.keys()):
+        print(f"note: current {name} has no baseline (not compared)")
+    regressed = [c for c in comparisons if c.regressed]
+    if regressed:
+        names = ", ".join(c.workload for c in regressed)
+        if args.informational:
+            print(f"REGRESSED (informational, not gating): {names}")
+            return 0
+        print(f"REGRESSED: {names}")
+        return 1
+    return 0
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.errors import BenchFormatError
+    from repro.obs import perf
+
+    paths = perf.list_records(args.dir)
+    if not paths:
+        print(f"no BENCH_*.json records under {args.dir}")
+        return 0
+    try:
+        records = [perf.load_record(path) for path in paths]
+    except BenchFormatError as error:
+        print(f"perf report: {error}", file=sys.stderr)
+        return 2
+    print(perf.format_record_report(records))
     return 0
 
 
@@ -499,6 +615,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     batch.add_argument("--include-gcd", action="store_true")
     batch.add_argument("--report", default=None, help="write the JSON batch report here")
+    batch.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable distributed tracing and write the multi-process "
+        "Chrome trace_event JSON here",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     sanitize = sub.add_parser(
@@ -560,6 +682,70 @@ def main(argv: Optional[list] = None) -> int:
     trace.add_argument("--jsonl", default=None, help="also write a JSONL span dump")
     trace.add_argument("--detail", action="store_true")
     trace.set_defaults(func=_cmd_trace)
+
+    perf = sub.add_parser(
+        "perf", help="benchmark observatory: record / compare / report"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_record = perf_sub.add_parser(
+        "record", help="run workloads and write BENCH_*.json records"
+    )
+    perf_record.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: all; see repro.obs.perf)",
+    )
+    perf_record.add_argument(
+        "--repeats", type=int, default=5, help="timed repeats per workload"
+    )
+    perf_record.add_argument(
+        "--system",
+        choices=SYSTEMS,
+        default=None,
+        help="number system (default: each workload's own)",
+    )
+    perf_record.add_argument(
+        "--out-dir",
+        default="benchmarks/results",
+        help="directory for the BENCH_*.json records",
+    )
+    perf_record.set_defaults(func=_cmd_perf_record)
+
+    perf_compare = perf_sub.add_parser(
+        "compare",
+        help="compare current records against the committed baselines",
+    )
+    perf_compare.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="committed baseline records",
+    )
+    perf_compare.add_argument(
+        "--current-dir",
+        default="benchmarks/results",
+        help="freshly recorded BENCH_*.json records",
+    )
+    perf_compare.add_argument(
+        "--min-rel",
+        type=float,
+        default=0.05,
+        help="relative floor of the noise band (fraction of baseline median)",
+    )
+    perf_compare.add_argument(
+        "--informational",
+        action="store_true",
+        help="report regressions but always exit 0 (CI smoke mode)",
+    )
+    perf_compare.set_defaults(func=_cmd_perf_compare)
+
+    perf_report = perf_sub.add_parser(
+        "report", help="print a table of recorded BENCH_*.json files"
+    )
+    perf_report.add_argument(
+        "--dir", default="benchmarks/results", help="record directory"
+    )
+    perf_report.set_defaults(func=_cmd_perf_report)
 
     tradeoff = sub.add_parser(
         "tradeoff", help="run the epsilon sweep", parents=[config_parent]

@@ -119,6 +119,29 @@ class MemoryBudgetExceeded(DDError):
         self.max_bytes = max_bytes
 
 
+class TelemetryError(ReproError):
+    """Base class for errors in the observability layer (:mod:`repro.obs`)."""
+
+
+class SnapshotMergeError(TelemetryError):
+    """Raised by :func:`repro.obs.merge_snapshots` on un-mergeable input.
+
+    Merging telemetry snapshots is only meaningful when they describe
+    the *same* instruments: an empty snapshot list, snapshots whose
+    instrument sets are completely disjoint (telemetry from unrelated
+    subsystems), or same-name histograms with different bucket
+    boundaries (their cumulative ``le`` counts are not comparable) all
+    raise this error instead of silently producing a misleading merge.
+    """
+
+
+class BenchFormatError(TelemetryError):
+    """Raised by :mod:`repro.obs.perf` for malformed ``BENCH_*.json``
+    documents or an unusable baseline store (missing baseline file,
+    schema-version mismatch, workload mismatch between the compared
+    records)."""
+
+
 class ConfigError(ReproError):
     """Raised by :mod:`repro.api` for invalid configuration values.
 

@@ -31,6 +31,21 @@ snapshots fleet-wide via :func:`repro.obs.merge_snapshots` and overlays
 its own ``exec.batch.*`` instruments (jobs, completed, failed, retries,
 timeouts, worker count, per-job seconds histogram), all inside one
 ``exec.batch`` span.
+
+**Distributed tracing.**  When the coordinator's telemetry scope has
+tracing enabled, :func:`run_batch` mints a
+:class:`~repro.obs.TraceContext` (trace id + the ``exec.batch`` span's
+id + the coordinator clock anchor) and injects it into every request.
+Workers then record spans -- an ``exec.job`` root span wrapping the
+whole job, the simulator's ``sim.gate``/``dd.apply.direct`` spans
+below it -- and serialize them into the job outcome dict alongside the
+metrics snapshot, on the success, failure *and* timeout paths.  The
+coordinator re-parents every shipped span under its ``exec.batch``
+span with per-worker clock-offset alignment
+(:func:`repro.obs.reparent_spans`), so one export of the coordinator
+tracer yields a single multi-process trace with one track per worker.
+Trace propagation never touches simulation state: results are
+byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -41,12 +56,19 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.api import RunRequest, RunResult, run
 from repro.errors import ConfigError, ReproError
-from repro.obs import Telemetry, merge_snapshots
+from repro.obs import (
+    Telemetry,
+    TraceContext,
+    export_local_spans,
+    export_worker_spans,
+    merge_snapshots,
+    reparent_spans,
+)
 
 __all__ = ["BatchResult", "JobFailure", "JobTimeout", "run_batch"]
 
@@ -100,7 +122,8 @@ class BatchResult:
     where the job ultimately failed); ``failures`` holds the typed
     failure records.  ``metrics`` is the fleet-wide merge of every
     job's telemetry snapshot plus the engine's own ``exec.batch.*``
-    instruments.
+    instruments.  ``trace_id`` is the batch-wide trace id when the
+    coordinator scope had tracing enabled, else ``None``.
     """
 
     results: List[Optional[RunResult]]
@@ -108,6 +131,7 @@ class BatchResult:
     workers: int
     seconds: float
     metrics: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     @property
     def completed(self) -> List[RunResult]:
@@ -132,6 +156,7 @@ class BatchResult:
             ],
             "failures": [failure.to_dict() for failure in self.failures],
             "metrics": self.metrics,
+            "trace_id": self.trace_id,
         }
 
 
@@ -170,21 +195,43 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
 
 
 def _execute_job(
-    index: int, request: RunRequest, timeout: Optional[float]
+    index: int,
+    request: RunRequest,
+    timeout: Optional[float],
+    serialize: bool = True,
 ) -> Tuple[int, Dict[str, Any]]:
     """Run one job; always return a picklable outcome payload.
 
     Executed inside the pool workers (and, for ``workers=1``, inline).
     The telemetry scope is created *before* the deadline is armed so a
-    timed-out job still ships its partial snapshot home.
+    timed-out job still ships its partial snapshot home.  When the
+    request carries a :class:`~repro.obs.TraceContext` the scope is
+    forced into tracing mode, the whole attempt is wrapped in an
+    ``exec.job`` span, and the span ring rides home in the outcome
+    dict -- on the success, failure and timeout paths alike.  Pool
+    workers serialize the ring to plain dicts; the in-process fallback
+    passes ``serialize=False`` and ships the live :class:`Span`
+    objects instead (no pickle boundary to cross).
     """
+    context = request.trace_context
     scope = request.config.create_telemetry()
+    if context is not None and not scope.tracer.enabled:
+        scope = Telemetry(metrics=scope.metrics.enabled, tracing=True)
+    export = export_worker_spans if serialize else export_local_spans
+    job_attrs: Dict[str, Any] = {"label": request.job_label, "index": index}
+    if context is not None:
+        job_attrs["trace_id"] = context.trace_id
+        job_attrs["parent_span_id"] = context.parent_span_id
     try:
         with _deadline(timeout):
-            result = run(request, telemetry=scope)
-        return index, {"ok": True, "result": result}
+            with scope.tracer.span("exec.job", **job_attrs):
+                result = run(request, telemetry=scope)
+        outcome: Dict[str, Any] = {"ok": True, "result": result}
+        if context is not None:
+            outcome["spans"] = export(scope.tracer, context)
+        return index, outcome
     except Exception as exc:  # noqa: BLE001 - converted into JobFailure
-        return index, {
+        outcome = {
             "ok": False,
             "error_type": type(exc).__name__,
             "message": str(exc),
@@ -192,6 +239,9 @@ def _execute_job(
             "traceback": traceback.format_exc(),
             "metrics": dict(scope.metrics.snapshot()),
         }
+        if context is not None:
+            outcome["spans"] = export(scope.tracer, context)
+        return index, outcome
 
 
 # ---------------------------------------------------------------------------
@@ -206,7 +256,10 @@ def _run_round(
 ) -> List[Tuple[int, Dict[str, Any]]]:
     """One attempt for every job in ``jobs``; outcomes in any order."""
     if workers <= 1:
-        return [_execute_job(index, request, timeout) for index, request in jobs]
+        return [
+            _execute_job(index, request, timeout, serialize=False)
+            for index, request in jobs
+        ]
 
     outcomes: List[Tuple[int, Dict[str, Any]]] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -283,6 +336,7 @@ def run_batch(
     jobs_failed = metrics.counter("exec.batch.failed")
     jobs_retried = metrics.counter("exec.batch.retries")
     jobs_timed_out = metrics.counter("exec.batch.timeouts")
+    trace_spans = metrics.counter("exec.batch.trace.spans")
     worker_gauge = metrics.gauge("exec.batch.workers")
     job_seconds = metrics.histogram(
         "exec.job.seconds", buckets=JOB_SECONDS_BUCKETS
@@ -291,13 +345,30 @@ def run_batch(
     jobs_total.inc(len(requests))
     worker_gauge.set(workers)
 
+    # Trace-context injection: one trace id for the whole batch, the
+    # coordinator's exec.batch span as the common parent.  The traced
+    # copies are what gets submitted (including retry rounds); the
+    # caller's request objects are never mutated.
+    context: Optional[TraceContext] = None
+    if scope.tracer.enabled:
+        context = TraceContext.for_tracer(scope.tracer)
+    submitted: List[RunRequest] = [
+        request if context is None else replace(request, trace_context=context)
+        for request in requests
+    ]
+    span_payloads: List[Dict[str, Any]] = []
+
     results: List[Optional[RunResult]] = [None] * len(requests)
     attempts: Dict[int, int] = {index: 0 for index in range(len(requests))}
     last_failure: Dict[int, Dict[str, Any]] = {}
-    pending: List[Tuple[int, RunRequest]] = list(enumerate(requests))
+    pending: List[Tuple[int, RunRequest]] = list(enumerate(submitted))
 
     started = time.perf_counter()
-    with scope.tracer.span("exec.batch", jobs=len(requests), workers=workers):
+    batch_attrs: Dict[str, Any] = {"jobs": len(requests), "workers": workers}
+    if context is not None:
+        batch_attrs["trace_id"] = context.trace_id
+        batch_attrs["span_id"] = context.parent_span_id
+    with scope.tracer.span("exec.batch", **batch_attrs) as batch_span:
         round_no = 0
         while pending and round_no <= retries:
             if round_no:
@@ -306,6 +377,9 @@ def run_batch(
             failed_this_round: List[Tuple[int, RunRequest]] = []
             for index, outcome in _run_round(pending, workers, timeout):
                 attempts[index] += 1
+                payload = outcome.pop("spans", None)
+                if payload is not None:
+                    span_payloads.append(payload)
                 if outcome["ok"]:
                     result: RunResult = outcome["result"]
                     result.attempts = attempts[index]
@@ -317,9 +391,28 @@ def run_batch(
                     last_failure[index] = outcome
                     if outcome["timed_out"]:
                         jobs_timed_out.inc()
-                    failed_this_round.append((index, requests[index]))
+                    failed_this_round.append((index, submitted[index]))
             pending = sorted(failed_this_round)
             round_no += 1
+
+        # Re-parent the shipped worker spans under this exec.batch span
+        # while it is still open, so containment holds in the export:
+        # offset-aligned worker times always land inside the batch
+        # window.  Each worker process gets its own pid track; tid
+        # numbers the payloads (attempts) within a worker.
+        if context is not None:
+            tids: Dict[int, int] = {}
+            for payload in span_payloads:
+                worker_pid = int(payload.get("pid", 0))
+                tid = tids.get(worker_pid, 0)
+                tids[worker_pid] = tid + 1
+                adopted = reparent_spans(
+                    scope.tracer,
+                    payload,
+                    parent_depth=batch_span.depth,
+                    tid=tid,
+                )
+                trace_spans.inc(len(adopted))
 
     failures = [
         JobFailure(
@@ -339,8 +432,12 @@ def run_batch(
 
     job_snapshots = [result.metrics for result in results if result is not None]
     job_snapshots.extend(failure.metrics for failure in failures)
-    merged = merge_snapshots(job_snapshots)
-    merged.update(metrics.snapshot())
+    # One merge covers the per-job snapshots *and* the coordinator's
+    # own registry, so shared counters (obs.trace.dropped) sum instead
+    # of being overwritten; exec.batch.* exists only here and passes
+    # through unchanged.  With zero requests this is just the
+    # coordinator snapshot -- never the empty-list error case.
+    merged = merge_snapshots([*job_snapshots, metrics.snapshot()])
 
     return BatchResult(
         results=results,
@@ -348,4 +445,5 @@ def run_batch(
         workers=workers,
         seconds=seconds,
         metrics=merged,
+        trace_id=None if context is None else context.trace_id,
     )

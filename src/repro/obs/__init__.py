@@ -45,6 +45,14 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     merge_snapshots,
 )
+from repro.obs.propagate import (
+    TraceContext,
+    export_local_spans,
+    export_worker_spans,
+    new_span_id,
+    new_trace_id,
+    reparent_spans,
+)
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -55,11 +63,17 @@ __all__ = [
     "Histogram",
     "Tracer",
     "Span",
+    "TraceContext",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_SPAN",
     "aggregate_spans",
+    "export_local_spans",
+    "export_worker_spans",
+    "new_span_id",
+    "new_trace_id",
+    "reparent_spans",
     "spans_to_chrome_trace",
     "spans_to_jsonl",
     "validate_chrome_trace",
@@ -104,6 +118,13 @@ class Telemetry:
         self.metrics = MetricsRegistry(enabled=metrics)
         self.tracer = Tracer(
             enabled=tracing, detail=trace_detail, capacity=trace_capacity
+        )
+        # Ring overflow is surfaced through the registry so it shows up
+        # in snapshots (and sums across workers in merge_snapshots); a
+        # pull collector keeps Span.__exit__ free of registry work.
+        tracer = self.tracer
+        self.metrics.register_collector(
+            lambda: {"obs.trace.dropped": tracer.dropped}
         )
 
     @classmethod

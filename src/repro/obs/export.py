@@ -20,7 +20,7 @@ every defect at once.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.tracing import Span
 
@@ -45,24 +45,43 @@ def spans_to_jsonl(spans: Iterable[Span]) -> str:
 
 
 def spans_to_chrome_trace(
-    spans: Iterable[Span], process_name: str = "repro-qmdd"
+    spans: Iterable[Span],
+    process_name: str = "repro-qmdd",
+    process_names: Optional[Mapping[int, str]] = None,
 ) -> Dict[str, Any]:
     """The Trace Event *JSON Object Format* for a span collection.
 
     Every span maps to one complete event (``ph == "X"``); nesting is
-    reconstructed by the viewer from ``ts``/``dur`` containment on the
-    single thread lane.  Attributes ride along in ``args``.
+    reconstructed by the viewer from ``ts``/``dur`` containment per
+    ``pid``/``tid`` track.  Attributes ride along in ``args``.
+
+    Locally recorded spans live on track ``(0, 0)`` -- the coordinator
+    process, named ``process_name``.  Spans adopted from worker
+    processes (:func:`repro.obs.propagate.reparent_spans`) carry the
+    worker's real pid and each distinct pid gets its own
+    ``process_name`` metadata event, so a multi-process batch trace
+    opens in Perfetto with one lane per worker.  ``process_names``
+    overrides the auto-generated ``"<process_name> worker <pid>"``
+    labels per pid.
     """
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
-    for span in sorted(spans, key=lambda s: (s.start, -s.end)):
+    ordered = sorted(spans, key=lambda s: (s.start, -s.end))
+    track_pids = sorted({span.pid for span in ordered} | {0})
+    names = dict(process_names) if process_names is not None else {}
+    events: List[Dict[str, Any]] = []
+    for pid in track_pids:
+        default = (
+            process_name if pid == 0 else f"{process_name} worker {pid}"
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": names.get(pid, default)},
+            }
+        )
+    for span in ordered:
         events.append(
             {
                 "name": span.name,
@@ -70,8 +89,8 @@ def spans_to_chrome_trace(
                 "ph": "X",
                 "ts": round(span.start * 1e6, 3),
                 "dur": round(span.seconds * 1e6, 3),
-                "pid": 0,
-                "tid": 0,
+                "pid": span.pid,
+                "tid": span.tid,
                 "args": _json_safe(span.attrs),
             }
         )
@@ -99,7 +118,10 @@ def write_jsonl(spans: Iterable[Span], path: str) -> int:
 
 
 def write_chrome_trace(
-    spans: Iterable[Span], path: str, process_name: str = "repro-qmdd"
+    spans: Iterable[Span],
+    path: str,
+    process_name: str = "repro-qmdd",
+    process_names: Optional[Mapping[int, str]] = None,
 ) -> Dict[str, Any]:
     """Write (and return) the validated Chrome ``trace_event`` document.
 
@@ -107,7 +129,9 @@ def write_chrome_trace(
     check -- a trace that will not load in the viewer must never be
     written silently.
     """
-    document = spans_to_chrome_trace(spans, process_name=process_name)
+    document = spans_to_chrome_trace(
+        spans, process_name=process_name, process_names=process_names
+    )
     problems = validate_chrome_trace(document)
     if problems:
         raise ValueError("invalid Chrome trace produced: " + "; ".join(problems))

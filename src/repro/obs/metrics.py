@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.errors import SnapshotMergeError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -295,18 +297,44 @@ def _merges_as_max(name: str) -> bool:
 
 
 def _merge_histogram(
-    accumulated: Dict[str, Any], incoming: Mapping[str, Any]
+    name: str, accumulated: Dict[str, Any], incoming: Mapping[str, Any]
 ) -> Dict[str, Any]:
+    """Bucket-wise histogram merge; bucket layouts must agree.
+
+    Bucket layouts are fixed at registration, so same-name histograms
+    from parallel jobs always share boundaries.  A layout mismatch
+    means two *different* instruments collided on one name -- adding
+    their cumulative ``le`` counts would silently produce a histogram
+    that is wrong in every bucket, so it raises instead.  Histograms
+    with no observations (disabled registries report empty buckets)
+    merge with anything: they carry no counts to corrupt.
+    """
+    accumulated_buckets: Dict[str, MetricValue] = dict(
+        accumulated.get("buckets", {})
+    )
+    incoming_buckets = incoming.get("buckets", {})
+    if (
+        accumulated_buckets
+        and incoming_buckets
+        and set(accumulated_buckets) != set(incoming_buckets)
+    ):
+        raise SnapshotMergeError(
+            f"histogram {name!r} has mismatched bucket boundaries: "
+            f"{sorted(accumulated_buckets)} vs {sorted(incoming_buckets)}; "
+            "snapshots of the same instrument always share a layout -- "
+            "these describe different instruments"
+        )
     count = accumulated.get("count", 0) + incoming.get("count", 0)
     total = accumulated.get("sum", 0.0) + incoming.get("sum", 0.0)
-    buckets: Dict[str, MetricValue] = dict(accumulated.get("buckets", {}))
-    for bound, bucket_count in incoming.get("buckets", {}).items():
-        buckets[bound] = buckets.get(bound, 0) + bucket_count
+    for bound, bucket_count in incoming_buckets.items():
+        accumulated_buckets[bound] = (
+            accumulated_buckets.get(bound, 0) + bucket_count
+        )
     return {
         "count": count,
         "sum": total,
         "mean": (total / count) if count else 0.0,
-        "buckets": buckets,
+        "buckets": accumulated_buckets,
     }
 
 
@@ -325,12 +353,35 @@ def merge_snapshots(snapshots: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
 
     The result is itself snapshot-shaped, so reporting helpers
     (``render_metrics``, hit-rate tables) work on it unchanged.
+
+    Un-mergeable input raises :class:`~repro.errors.SnapshotMergeError`
+    instead of silently mis-merging: an empty ``snapshots`` sequence
+    (there is no fleet to describe -- callers with a legitimately empty
+    batch should skip the merge), a non-empty snapshot sharing no
+    instrument names with the non-empty snapshots before it (telemetry
+    from unrelated subsystems: summing disjoint sets only fabricates a
+    fleet that never existed), or same-name histograms with different
+    bucket boundaries.  Empty snapshots (a worker that died before its
+    first sample) merge with anything.
     """
+    if not snapshots:
+        raise SnapshotMergeError(
+            "cannot merge an empty snapshot list; skip the merge when "
+            "there are no per-job snapshots"
+        )
     merged: Dict[str, Any] = {}
     for snapshot in snapshots:
+        if merged and snapshot and not merged.keys() & snapshot.keys():
+            raise SnapshotMergeError(
+                "snapshot shares no instrument names with the snapshots "
+                "merged so far; refusing to merge telemetry from "
+                "unrelated subsystems (sample names so far: "
+                f"{sorted(merged)[:3]}..., incoming: "
+                f"{sorted(snapshot)[:3]}...)"
+            )
         for name, value in snapshot.items():
             if isinstance(value, Mapping):
-                merged[name] = _merge_histogram(merged.get(name, {}), value)
+                merged[name] = _merge_histogram(name, merged.get(name, {}), value)
             elif name not in merged:
                 merged[name] = value
             elif _merges_as_max(name):

@@ -1,0 +1,451 @@
+r"""The performance observatory: versioned benchmark records, baselines
+and noise-aware regression comparison.
+
+The engine's open roadmap items (persistent service, native kernels)
+all hinge on *trustworthy latency evidence*.  This module is that
+evidence chain:
+
+* a **versioned result schema** -- every benchmark run serializes to a
+  ``BENCH_<workload>.json`` document carrying the workload name, the
+  exact :class:`~repro.api.SimulatorConfig` used, median-of-N wall
+  times with a MAD (median-absolute-deviation) noise band, and
+  registry-derived counters (peak nodes, gate counts, compute-cache
+  hit rates) that explain *why* a timing moved;
+* a **baseline store** -- records committed under
+  ``benchmarks/baselines/`` are the reference the CI ``perf-smoke``
+  job (and ``repro-qmdd perf compare``) measures against;
+* **noise-aware comparison** -- a current record regresses only when
+  its median exceeds the baseline median by more than the noise band
+
+  .. code-block:: text
+
+      band = max(3 * 1.4826 * (mad_base + mad_current),
+                 min_rel * median_base)
+
+  i.e. three combined robust standard deviations, floored at a
+  relative guard (default 5%) so microsecond-scale workloads do not
+  flap on scheduler jitter.
+
+Schema problems (wrong version, missing fields, mismatched workloads)
+raise :class:`~repro.errors.BenchFormatError`; comparison never guesses
+across incompatible records.
+
+The CLI front end is ``repro-qmdd perf record|compare|report``; see
+``docs/OBSERVABILITY.md`` for the workflow (record a baseline, commit
+it, let CI compare every push).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import BenchFormatError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchRecord",
+    "TimingStats",
+    "bench_filename",
+    "compare_records",
+    "format_comparison_report",
+    "format_record_report",
+    "list_records",
+    "load_record",
+    "mad",
+    "median",
+    "record_workload",
+    "save_record",
+    "workload_names",
+]
+
+#: Version stamp written into (and required from) every BENCH_*.json.
+BENCH_SCHEMA_VERSION = 1
+
+#: Registry counters copied into the record when present -- the ones
+#: that explain a timing shift (work volume, structure size, caching).
+COUNTER_KEYS: Tuple[str, ...] = (
+    "sim.gates",
+    "sim.state.peak_nodes",
+    "sim.state.max_bit_width",
+    "dd.apply.direct",
+    "dd.apply.delegated",
+    "dd.ct.mat_vec.hit_rate",
+    "dd.ct.vec_add.hit_rate",
+    "dd.gc.collections",
+    "dd.gc.peak_resident_nodes",
+)
+
+
+def median(values: Sequence[float]) -> float:
+    """The middle value (mean of the middle two for even counts)."""
+    if not values:
+        raise BenchFormatError("median of an empty sample set")
+    ordered = sorted(values)
+    half = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[half]
+    return (ordered[half - 1] + ordered[half]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation -- the robust spread estimator."""
+    center = median(values)
+    return median([abs(value - center) for value in values])
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Median-of-N timing with its MAD noise estimate.
+
+    ``samples`` keeps the raw per-repeat seconds so a record can be
+    re-analysed (different band policy) without re-running anything.
+    """
+
+    median: float
+    mad: float
+    repeats: int
+    samples: Tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TimingStats":
+        if not samples:
+            raise BenchFormatError("timing requires at least one sample")
+        return cls(
+            median=median(samples),
+            mad=mad(samples),
+            repeats=len(samples),
+            samples=tuple(float(sample) for sample in samples),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "median_seconds": self.median,
+            "mad_seconds": self.mad,
+            "repeats": self.repeats,
+            "samples_seconds": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimingStats":
+        try:
+            return cls(
+                median=float(payload["median_seconds"]),
+                mad=float(payload["mad_seconds"]),
+                repeats=int(payload["repeats"]),
+                samples=tuple(
+                    float(sample) for sample in payload["samples_seconds"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchFormatError(f"malformed timing block: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark result -- the unit stored as ``BENCH_*.json``."""
+
+    workload: str
+    config: Dict[str, Any]
+    timing: TimingStats
+    counters: Dict[str, Any] = field(default_factory=dict)
+    created_unix: float = 0.0
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "workload": self.workload,
+            "config": dict(self.config),
+            "timing": self.timing.to_dict(),
+            "counters": dict(self.counters),
+            "created_unix": self.created_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BenchRecord":
+        if not isinstance(payload, Mapping):
+            raise BenchFormatError(
+                f"benchmark record must be a JSON object, got {type(payload).__name__}"
+            )
+        schema = payload.get("schema")
+        if schema != BENCH_SCHEMA_VERSION:
+            raise BenchFormatError(
+                f"unsupported benchmark schema {schema!r} "
+                f"(this build reads version {BENCH_SCHEMA_VERSION})"
+            )
+        for key in ("workload", "config", "timing"):
+            if key not in payload:
+                raise BenchFormatError(f"benchmark record missing {key!r}")
+        config = payload["config"]
+        if not isinstance(config, Mapping):
+            raise BenchFormatError("benchmark 'config' must be an object")
+        return cls(
+            workload=str(payload["workload"]),
+            config=dict(config),
+            timing=TimingStats.from_dict(payload["timing"]),
+            counters=dict(payload.get("counters", {})),
+            created_unix=float(payload.get("created_unix", 0.0)),
+            schema=BENCH_SCHEMA_VERSION,
+        )
+
+
+def bench_filename(workload: str) -> str:
+    """Canonical file name for one workload's record."""
+    safe = workload.replace("/", "_")
+    return f"BENCH_{safe}.json"
+
+
+def save_record(record: BenchRecord, directory: str) -> str:
+    """Write ``record`` into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, bench_filename(record.workload))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_record(path: str) -> BenchRecord:
+    """Read and validate one ``BENCH_*.json`` file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BenchFormatError(f"cannot read benchmark record {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path} is not valid JSON: {exc}") from exc
+    return BenchRecord.from_dict(payload)
+
+
+def list_records(directory: str) -> List[str]:
+    """Paths of every ``BENCH_*.json`` under ``directory``, sorted."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def _workloads() -> Dict[str, Tuple[Callable[[], Any], str]]:
+    """Named benchmark circuits with their default number system.
+
+    Lazy so ``perf.py`` imports cheaply.  Each entry pairs a circuit
+    builder with the system its gates suit: the exactly representable
+    workloads default to the paper's algebraic-gcd representation, the
+    QFT (non-Clifford+T phases) to the numeric one.
+    """
+    from repro.algorithms.grover import grover_circuit
+    from repro.circuits.library import ghz_circuit, qft_circuit
+
+    return {
+        # The paper's benchmark 1 at the size used throughout the docs:
+        # exactly representable gates, heavy multi-control traffic.
+        "grover_8q": (lambda: grover_circuit(8, marked=3), "algebraic-gcd"),
+        # Small/fast variant for CI smoke runs.
+        "grover_5q": (lambda: grover_circuit(5, marked=3), "algebraic-gcd"),
+        # Structure-light baseline: linear entanglement, trivial DD.
+        "ghz_16q": (lambda: ghz_circuit(16), "algebraic-gcd"),
+        # Non-exact phases: exercises the numeric weight path.
+        "qft_8q": (lambda: qft_circuit(8), "numeric"),
+    }
+
+
+def workload_names() -> List[str]:
+    """The named workloads ``record_workload`` accepts, sorted."""
+    return sorted(_workloads())
+
+
+def record_workload(
+    workload: str,
+    repeats: int = 5,
+    system: Optional[str] = None,
+    warmup: int = 1,
+    now: Optional[float] = None,
+) -> BenchRecord:
+    """Run one named workload ``repeats`` times and build its record.
+
+    Each repeat is a full cold run through :func:`repro.api.run` (fresh
+    manager, fresh tables) so the medians compare like-for-like across
+    processes and machines.  Counters are taken from the final repeat's
+    telemetry snapshot.  ``system=None`` uses the workload's default
+    number system (see ``_workloads``).
+    """
+    if repeats < 1:
+        raise BenchFormatError("repeats must be >= 1")
+    builders = _workloads()
+    if workload not in builders:
+        raise BenchFormatError(
+            f"unknown workload {workload!r}; known: {', '.join(sorted(builders))}"
+        )
+    # Lazy import: repro.api imports this package's siblings.
+    from repro.api import RunRequest, SimulatorConfig, run
+
+    builder, default_system = builders[workload]
+    config = SimulatorConfig(system=system or default_system)
+    circuit = builder()
+    for _ in range(warmup):
+        run(RunRequest(circuit, config=config))
+    samples: List[float] = []
+    metrics: Dict[str, Any] = {}
+    for _ in range(repeats):
+        result = run(RunRequest(circuit, config=config))
+        samples.append(result.seconds)
+        metrics = result.metrics
+    counters = {key: metrics[key] for key in COUNTER_KEYS if key in metrics}
+    return BenchRecord(
+        workload=workload,
+        config={"system": config.system, "label": config.label},
+        timing=TimingStats.from_samples(samples),
+        counters=counters,
+        created_unix=time.time() if now is None else now,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+#: MAD -> standard-deviation consistency constant (normal distribution).
+MAD_SIGMA = 1.4826
+
+#: Band width in combined robust standard deviations.
+BAND_SIGMAS = 3.0
+
+#: Relative floor of the noise band: shifts below this fraction of the
+#: baseline median never gate, however tight the MADs are.
+DEFAULT_MIN_REL = 0.05
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Noise-aware verdict of one current record against its baseline."""
+
+    workload: str
+    baseline_median: float
+    current_median: float
+    band_seconds: float
+    regressed: bool
+    improved: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline median (1.0 when the baseline is zero)."""
+        if self.baseline_median <= 0.0:
+            return 1.0
+        return self.current_median / self.baseline_median
+
+    @property
+    def verdict(self) -> str:
+        if self.regressed:
+            return "REGRESSED"
+        if self.improved:
+            return "improved"
+        return "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "baseline_median_seconds": self.baseline_median,
+            "current_median_seconds": self.current_median,
+            "band_seconds": self.band_seconds,
+            "ratio": self.ratio,
+            "verdict": self.verdict,
+        }
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    min_rel: float = DEFAULT_MIN_REL,
+) -> BenchComparison:
+    """Compare two records of the *same* workload, noise-aware.
+
+    Raises :class:`~repro.errors.BenchFormatError` when the records
+    describe different workloads or configurations -- a comparison
+    across those would be meaningless, not merely noisy.
+    """
+    if baseline.workload != current.workload:
+        raise BenchFormatError(
+            f"cannot compare workload {current.workload!r} "
+            f"against baseline {baseline.workload!r}"
+        )
+    if baseline.config != current.config:
+        raise BenchFormatError(
+            f"workload {baseline.workload!r}: records use different "
+            f"configurations ({baseline.config} vs {current.config})"
+        )
+    band = max(
+        BAND_SIGMAS * MAD_SIGMA * (baseline.timing.mad + current.timing.mad),
+        min_rel * baseline.timing.median,
+    )
+    delta = current.timing.median - baseline.timing.median
+    return BenchComparison(
+        workload=baseline.workload,
+        baseline_median=baseline.timing.median,
+        current_median=current.timing.median,
+        band_seconds=band,
+        regressed=delta > band,
+        improved=delta < -band,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.3f}s "
+
+
+def format_record_report(records: Sequence[BenchRecord]) -> str:
+    """Human-readable table of benchmark records."""
+    lines = [
+        f"{'workload':<14} {'median':>10} {'mad':>10} {'reps':>4}  counters"
+    ]
+    for record in records:
+        highlights = ", ".join(
+            f"{key.rsplit('.', 1)[-1]}={record.counters[key]:g}"
+            for key in ("sim.gates", "sim.state.peak_nodes")
+            if key in record.counters
+        )
+        lines.append(
+            f"{record.workload:<14} {_fmt_seconds(record.timing.median):>10}"
+            f" {_fmt_seconds(record.timing.mad):>10}"
+            f" {record.timing.repeats:>4}  {highlights}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_report(comparisons: Sequence[BenchComparison]) -> str:
+    """Human-readable table of baseline-vs-current verdicts."""
+    lines = [
+        f"{'workload':<14} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>6} {'band':>10}  verdict"
+    ]
+    for comparison in comparisons:
+        lines.append(
+            f"{comparison.workload:<14}"
+            f" {_fmt_seconds(comparison.baseline_median):>10}"
+            f" {_fmt_seconds(comparison.current_median):>10}"
+            f" {comparison.ratio:>5.2f}x"
+            f" {_fmt_seconds(comparison.band_seconds):>10}"
+            f"  {comparison.verdict}"
+        )
+    return "\n".join(lines)

@@ -30,9 +30,17 @@ __all__ = ["Span", "Tracer", "NULL_SPAN"]
 
 
 class Span:
-    """One timed, attributed region of work."""
+    """One timed, attributed region of work.
 
-    __slots__ = ("tracer", "name", "attrs", "depth", "start", "end")
+    ``pid``/``tid`` identify the export *track* the span belongs to.
+    Locally recorded spans keep the default ``(0, 0)`` (the
+    coordinator's own track); spans adopted from worker processes by
+    :func:`repro.obs.propagate.reparent_spans` carry the worker's real
+    process id so the Chrome exporter can lay every worker out on its
+    own lane.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "depth", "start", "end", "pid", "tid")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
         self.tracer = tracer
@@ -41,6 +49,8 @@ class Span:
         self.depth = 0
         self.start = 0.0
         self.end = 0.0
+        self.pid = 0
+        self.tid = 0
 
     @property
     def seconds(self) -> float:
@@ -53,8 +63,9 @@ class Span:
 
     def __enter__(self) -> "Span":
         tracer = self.tracer
-        self.depth = len(tracer._stack)
-        tracer._stack.append(self)
+        stack = tracer._stack
+        self.depth = len(stack)
+        stack.append(self)
         self.start = tracer._clock() - tracer.epoch
         return self
 
@@ -66,13 +77,15 @@ class Span:
     ) -> None:
         tracer = self.tracer
         self.end = tracer._clock() - tracer.epoch
-        if tracer._stack and tracer._stack[-1] is self:
-            tracer._stack.pop()
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
-        if len(tracer._ring) == tracer.capacity:
+        ring = tracer._ring
+        if len(ring) == tracer.capacity:
             tracer.dropped += 1
-        tracer._ring.append(self)
+        ring.append(self)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -80,6 +93,8 @@ class Span:
             "start": self.start,
             "seconds": self.seconds,
             "depth": self.depth,
+            "pid": self.pid,
+            "tid": self.tid,
             "attrs": dict(self.attrs),
         }
 
@@ -96,6 +111,8 @@ class _NullSpan:
     start = 0.0
     end = 0.0
     seconds = 0.0
+    pid = 0
+    tid = 0
     attrs: Dict[str, Any] = {}
 
     def set(self, **attrs: Any) -> None:
@@ -149,6 +166,11 @@ class Tracer:
         self.capacity = capacity
         self._clock = time.perf_counter
         self.epoch = self._clock()
+        # Wall-clock anchor of the monotonic epoch, captured at the same
+        # instant.  Cross-process span alignment (repro.obs.propagate)
+        # subtracts two tracers' anchors to translate between their
+        # otherwise-incomparable perf_counter timelines.
+        self.epoch_unix = time.time()
         self._ring: "deque[Span]" = deque(maxlen=capacity)
         self._stack: List[Span] = []
         self.dropped = 0  # completed spans pushed out of the ring
@@ -158,6 +180,19 @@ class Tracer:
         if not self.enabled:
             return NULL_SPAN
         return Span(self, name, attrs)
+
+    def adopt(self, span: Span) -> None:
+        """Append an externally built (already timed) span to the ring.
+
+        Used by :func:`repro.obs.propagate.reparent_spans` to land
+        worker-process spans -- with their times already translated into
+        this tracer's timeline -- in the coordinator's ring, where the
+        ordinary exporters pick them up.  Ring overflow counts into
+        :attr:`dropped` exactly as for locally recorded spans.
+        """
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(span)
 
     def spans(self) -> List[Span]:
         """Completed spans, oldest first (a copy; safe to mutate)."""

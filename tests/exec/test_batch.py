@@ -223,7 +223,12 @@ class TestTelemetryMerge:
             "mean": 1.5,
             "buckets": {"le_1": 1, "inf": 1},
         }
-        other = {"count": 1, "sum": 9.0, "mean": 9.0, "buckets": {"inf": 1}}
+        other = {
+            "count": 1,
+            "sum": 9.0,
+            "mean": 9.0,
+            "buckets": {"le_1": 0, "inf": 1},
+        }
         merged = merge_snapshots([{"h": histogram}, {"h": other}])
         assert merged["h"]["count"] == 3
         assert merged["h"]["sum"] == 12.0

@@ -1,0 +1,171 @@
+"""Distributed tracing through the batch engine.
+
+The acceptance contract of the tracing tentpole: a ``workers=2``
+``run_batch`` with a tracing coordinator scope produces ONE validated
+Chrome trace containing every worker's ``sim.gate`` /
+``dd.apply.direct`` spans re-parented under the coordinator's
+``exec.batch`` span, on distinct per-worker pid tracks -- and tracing
+never changes the simulation results (byte-identity on vs off).
+"""
+
+import json
+
+import pytest
+
+from repro import Circuit
+from repro.api import RunRequest, SimulatorConfig, run_batch
+from repro.obs import Telemetry, validate_chrome_trace, write_chrome_trace
+
+
+def ghz_t(num_qubits: int = 3) -> Circuit:
+    circuit = Circuit(num_qubits, name=f"ghzt{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.t(qubit)
+    circuit.h(num_qubits - 1)
+    return circuit
+
+
+def _requests(count=4):
+    return [
+        RunRequest(ghz_t(), config=SimulatorConfig(system="algebraic-gcd"))
+        for _ in range(count)
+    ]
+
+
+def _traced_batch(workers, count=4):
+    telemetry = Telemetry.tracing()
+    batch = run_batch(_requests(count), workers=workers, telemetry=telemetry)
+    assert batch.ok, batch.failures
+    return telemetry, batch
+
+
+class TestCoordinatorRing:
+    def test_trace_id_minted_and_tagged(self):
+        telemetry, batch = _traced_batch(workers=1)
+        assert batch.trace_id is not None and len(batch.trace_id) == 32
+        spans = telemetry.tracer.spans()
+        batch_span = next(s for s in spans if s.name == "exec.batch")
+        assert batch_span.attrs["trace_id"] == batch.trace_id
+        adopted = [s for s in spans if "worker_pid" in s.attrs]
+        assert adopted and all(
+            s.attrs["trace_id"] == batch.trace_id for s in adopted
+        )
+
+    def test_exec_job_roots_link_to_exec_batch(self):
+        telemetry, _ = _traced_batch(workers=1)
+        spans = telemetry.tracer.spans()
+        batch_span = next(s for s in spans if s.name == "exec.batch")
+        jobs = [s for s in spans if s.name == "exec.job"]
+        assert len(jobs) == 4
+        for job in jobs:
+            assert job.attrs["parent_span_id"] == batch_span.attrs["span_id"]
+            assert job.depth == batch_span.depth + 1
+            # Offset-aligned containment within the batch window.
+            assert batch_span.start <= job.start
+            assert job.end <= batch_span.end
+
+    def test_worker_span_kinds_present(self):
+        telemetry, _ = _traced_batch(workers=1)
+        names = {s.name for s in telemetry.tracer.spans()}
+        assert {"exec.batch", "exec.job", "sim.gate", "dd.apply.direct"} <= names
+
+    def test_span_counter_in_fleet_metrics(self):
+        telemetry, batch = _traced_batch(workers=1)
+        adopted = [
+            s for s in telemetry.tracer.spans() if "worker_pid" in s.attrs
+        ]
+        assert batch.metrics["exec.batch.trace.spans"] == len(adopted)
+
+    def test_untraced_scope_ships_nothing(self):
+        telemetry = Telemetry()  # metrics only
+        batch = run_batch(_requests(2), workers=1, telemetry=telemetry)
+        assert batch.ok
+        assert batch.trace_id is None
+        assert len(telemetry.tracer) == 0
+        assert batch.metrics["exec.batch.trace.spans"] == 0
+
+
+class TestMultiProcessTrace:
+    def test_workers2_single_validated_chrome_trace(self, tmp_path):
+        telemetry, batch = _traced_batch(workers=2, count=6)
+        path = tmp_path / "batch_trace.json"
+        document = write_chrome_trace(telemetry.tracer.spans(), str(path))
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert len(by_name["exec.batch"]) == 1
+        assert len(by_name["exec.job"]) == 6
+        assert by_name["sim.gate"] and by_name["dd.apply.direct"]
+
+        # Every worker process that ran a job appears as its own pid
+        # track with a metadata name; the coordinator keeps pid 0.
+        worker_pids = {e["pid"] for e in by_name["exec.job"]}
+        assert 0 not in worker_pids
+        assert by_name["exec.batch"][0]["pid"] == 0
+        named_tracks = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(named_tracks) == worker_pids | {0}
+        assert all(
+            str(pid) in named_tracks[pid] for pid in worker_pids
+        )
+
+        # Each worker's gate spans live on that worker's own track.
+        for event in by_name["sim.gate"]:
+            assert event["pid"] in worker_pids
+
+        # Re-parenting as time containment: every job event inside the
+        # batch window (µs integers: allow 1µs rounding).
+        batch_event = by_name["exec.batch"][0]
+        for event in by_name["exec.job"]:
+            assert batch_event["ts"] <= event["ts"] + 1
+            assert (
+                event["ts"] + event["dur"]
+                <= batch_event["ts"] + batch_event["dur"] + 1
+            )
+
+    def test_every_job_ships_spans(self):
+        telemetry, _ = _traced_batch(workers=2, count=5)
+        jobs = [s for s in telemetry.tracer.spans() if s.name == "exec.job"]
+        assert sorted(s.attrs["index"] for s in jobs) == [0, 1, 2, 3, 4]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_results_identical_tracing_on_off(self, workers):
+        plain = run_batch(_requests(3), workers=workers)
+        traced = run_batch(
+            _requests(3), workers=workers, telemetry=Telemetry.tracing()
+        )
+        assert plain.ok and traced.ok
+        for left, right in zip(plain.results, traced.results):
+            assert left.state_payload == right.state_payload
+            assert left.node_count == right.node_count
+            assert left.metrics["sim.gates"] == right.metrics["sim.gates"]
+
+
+class TestFailurePaths:
+    def test_failed_job_still_ships_spans(self):
+        bad = Circuit(2, name="bad")
+        bad.h(0)
+        bad.cp(0.3, 0, 1)  # no exact D[omega] representation
+        telemetry = Telemetry.tracing()
+        batch = run_batch(
+            [RunRequest(bad, config=SimulatorConfig(system="algebraic-gcd"))],
+            workers=1,
+            telemetry=telemetry,
+        )
+        assert not batch.ok
+        spans = telemetry.tracer.spans()
+        job = next(s for s in spans if s.name == "exec.job")
+        assert job.attrs["error"] == "SimulationError"
+        # The gates applied before the failure made it home too.
+        assert any(s.name == "sim.gate" for s in spans)

@@ -32,7 +32,10 @@ class TestJsonl:
         assert len(lines) == 3
         first = json.loads(lines[0])
         assert first["name"] == "dd.apply.direct"
-        assert set(first) == {"name", "start", "seconds", "depth", "attrs"}
+        assert set(first) == {
+            "name", "start", "seconds", "depth", "pid", "tid", "attrs",
+        }
+        assert (first["pid"], first["tid"]) == (0, 0)  # local track
 
     def test_write_jsonl(self, tmp_path):
         tracer = _sample_tracer()
@@ -122,3 +125,100 @@ class TestAggregate:
 
     def test_empty(self):
         assert aggregate_spans([]) == []
+
+
+class TestChromeTraceEdgeCases:
+    def test_empty_span_list(self):
+        document = spans_to_chrome_trace([], process_name="empty")
+        events = document["traceEvents"]
+        # Still a valid document: the pid-0 metadata track and nothing else.
+        assert [event["ph"] for event in events] == ["M"]
+        assert events[0]["args"]["name"] == "empty"
+        assert validate_chrome_trace(document) == []
+
+    def test_nested_spans_share_track_and_nest_in_time(self):
+        tracer = _sample_tracer()
+        document = spans_to_chrome_trace(tracer.spans())
+        outer, inner = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "X" and event["name"] in ("sim.gate", "dd.apply.direct")
+        ][:2]
+        assert (outer["pid"], outer["tid"]) == (inner["pid"], inner["tid"])
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+
+    def test_multi_process_track_assignment(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("exec.batch"):
+            pass
+        worker_span = tracer.spans()[0]
+        adopted = Tracer(enabled=True)
+        with adopted.span("exec.batch"):
+            pass
+        local, = adopted.spans()
+        foreign = type(worker_span)(adopted, "exec.job", {"worker": True})
+        foreign.start, foreign.end = local.start, local.end
+        foreign.pid, foreign.tid = 4242, 7
+        adopted.adopt(foreign)
+        document = spans_to_chrome_trace(adopted.spans())
+        assert validate_chrome_trace(document) == []
+        tracks = {
+            event["pid"]: event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert set(tracks) == {0, 4242}
+        assert tracks[4242] == "repro-qmdd worker 4242"
+        job_event = next(
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "X" and event["name"] == "exec.job"
+        )
+        assert (job_event["pid"], job_event["tid"]) == (4242, 7)
+
+    def test_process_names_override(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("exec.job"):
+            pass
+        span, = tracer.spans()
+        span.pid = 99
+        document = spans_to_chrome_trace(
+            tracer.spans(), process_names={99: "worker-a", 0: "driver"}
+        )
+        tracks = {
+            event["pid"]: event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert tracks == {0: "driver", 99: "worker-a"}
+
+
+class TestValidatorRejections:
+    def test_trace_events_must_be_list(self):
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_complete_event_requires_duration(self):
+        document = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1},
+            ]
+        }
+        problems = validate_chrome_trace(document)
+        assert any("'dur'" in problem for problem in problems)
+
+    def test_negative_duration_rejected(self):
+        document = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1, "dur": -5},
+            ]
+        }
+        assert validate_chrome_trace(document) != []
+
+    def test_round_tripped_multiprocess_trace_stays_valid(self, tmp_path):
+        tracer = _sample_tracer()
+        for index, span in enumerate(tracer.spans()):
+            span.pid = 100 + index
+        path = tmp_path / "multi.json"
+        write_chrome_trace(tracer.spans(), str(path))
+        assert validate_chrome_trace(json.loads(path.read_text())) == []

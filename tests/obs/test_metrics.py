@@ -105,3 +105,83 @@ class TestRegistry:
         registry.counter("c").inc(3)
         assert registry.value("c") == 3
         assert registry.value("missing", default=-1) == -1
+
+
+class TestMergeSnapshotErrors:
+    """Typed-error edge cases of merge_snapshots (SnapshotMergeError)."""
+
+    def test_empty_snapshot_list_raises(self):
+        from repro.errors import SnapshotMergeError
+        from repro.obs.metrics import merge_snapshots
+
+        with pytest.raises(SnapshotMergeError, match="empty snapshot list"):
+            merge_snapshots([])
+
+    def test_disjoint_instrument_sets_raise(self):
+        from repro.errors import SnapshotMergeError
+        from repro.obs.metrics import merge_snapshots
+
+        with pytest.raises(SnapshotMergeError, match="shares no instrument"):
+            merge_snapshots([{"sim.gates": 3}, {"other.counter": 1}])
+
+    def test_empty_member_snapshots_merge_fine(self):
+        # A worker that died before its first snapshot ships {}.
+        from repro.obs.metrics import merge_snapshots
+
+        merged = merge_snapshots([{}, {"sim.gates": 3}, {}])
+        assert merged == {"sim.gates": 3}
+
+    def test_mismatched_histogram_buckets_raise(self):
+        from repro.errors import SnapshotMergeError
+        from repro.obs.metrics import merge_snapshots
+
+        left = {"count": 1, "sum": 0.5, "mean": 0.5, "buckets": {"le_1": 1, "inf": 0}}
+        right = {"count": 1, "sum": 2.0, "mean": 2.0, "buckets": {"inf": 1}}
+        with pytest.raises(SnapshotMergeError, match="bucket boundaries"):
+            merge_snapshots([{"h": left}, {"h": right}])
+
+    def test_empty_buckets_merge_with_anything(self):
+        # Disabled registries emit histograms with no buckets at all;
+        # they must not poison a fleet merge.
+        from repro.obs.metrics import merge_snapshots
+
+        empty = {"count": 0, "sum": 0.0, "mean": 0.0, "buckets": {}}
+        full = {"count": 2, "sum": 3.0, "mean": 1.5, "buckets": {"le_1": 1, "inf": 1}}
+        merged = merge_snapshots([{"h": empty}, {"h": full}])
+        assert merged["h"]["buckets"] == {"le_1": 1, "inf": 1}
+        assert merged["h"]["count"] == 2
+
+
+class TestTraceDroppedCounter:
+    """Satellite: the tracer ring overflow is a first-class metric."""
+
+    def test_visible_in_snapshot(self):
+        from repro.obs import Telemetry
+
+        scope = Telemetry.tracing(trace_capacity=2)
+        for index in range(5):
+            with scope.tracer.span("sim.gate", index=index):
+                pass
+        snapshot = scope.metrics.snapshot()
+        assert snapshot["obs.trace.dropped"] == 3
+        assert scope.tracer.dropped == 3
+
+    def test_zero_when_ring_never_overflows(self):
+        from repro.obs import Telemetry
+
+        scope = Telemetry()
+        assert scope.metrics.snapshot()["obs.trace.dropped"] == 0
+
+    def test_sums_across_merge_snapshots(self):
+        from repro.obs import Telemetry
+        from repro.obs.metrics import merge_snapshots
+
+        snapshots = []
+        for overflow in (2, 3):
+            scope = Telemetry.tracing(trace_capacity=1)
+            for index in range(overflow + 1):
+                with scope.tracer.span("sim.gate", index=index):
+                    pass
+            snapshots.append(scope.metrics.snapshot())
+        merged = merge_snapshots(snapshots)
+        assert merged["obs.trace.dropped"] == 5

@@ -1,0 +1,179 @@
+"""Performance observatory: schema, baselines, noise-aware comparison."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import BenchFormatError
+from repro.obs import perf
+
+
+def _record(workload="ghz_16q", samples=(1.0, 1.1, 0.9), mad_scale=1.0):
+    timing = perf.TimingStats.from_samples(list(samples))
+    if mad_scale != 1.0:
+        timing = dataclasses.replace(timing, mad=timing.mad * mad_scale)
+    return perf.BenchRecord(
+        workload=workload,
+        config={"system": "algebraic-gcd", "label": "algebraic-gcd"},
+        timing=timing,
+        counters={"sim.gates": 16},
+        created_unix=1000.0,
+    )
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert perf.median([3.0, 1.0, 2.0]) == 2.0
+        assert perf.median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(BenchFormatError):
+            perf.median([])
+
+    def test_mad(self):
+        assert perf.mad([1.0, 2.0, 3.0, 100.0]) == 1.0  # robust to outlier
+
+    def test_timing_from_samples(self):
+        timing = perf.TimingStats.from_samples([2.0, 1.0, 3.0])
+        assert timing.median == 2.0
+        assert timing.mad == 1.0
+        assert timing.repeats == 3
+        assert timing.samples == (2.0, 1.0, 3.0)
+
+    def test_timing_requires_samples(self):
+        with pytest.raises(BenchFormatError):
+            perf.TimingStats.from_samples([])
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        record = _record()
+        path = perf.save_record(record, str(tmp_path))
+        assert path.endswith("BENCH_ghz_16q.json")
+        assert perf.load_record(path) == record
+
+    def test_schema_version_stamped(self, tmp_path):
+        path = perf.save_record(_record(), str(tmp_path))
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == perf.BENCH_SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        payload = _record().to_dict()
+        payload["schema"] = 99
+        with pytest.raises(BenchFormatError, match="schema"):
+            perf.BenchRecord.from_dict(payload)
+
+    @pytest.mark.parametrize("missing", ["workload", "config", "timing"])
+    def test_missing_field_rejected(self, missing):
+        payload = _record().to_dict()
+        del payload[missing]
+        with pytest.raises(BenchFormatError, match=missing):
+            perf.BenchRecord.from_dict(payload)
+
+    def test_malformed_timing_rejected(self):
+        payload = _record().to_dict()
+        payload["timing"] = {"median_seconds": "fast"}
+        with pytest.raises(BenchFormatError, match="timing"):
+            perf.BenchRecord.from_dict(payload)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchFormatError, match="JSON"):
+            perf.load_record(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(BenchFormatError, match="cannot read"):
+            perf.load_record(str(tmp_path / "BENCH_missing.json"))
+
+    def test_list_records(self, tmp_path):
+        perf.save_record(_record("b"), str(tmp_path))
+        perf.save_record(_record("a"), str(tmp_path))
+        (tmp_path / "notes.txt").write_text("ignored")
+        names = [path.rsplit("/", 1)[-1] for path in perf.list_records(str(tmp_path))]
+        assert names == ["BENCH_a.json", "BENCH_b.json"]
+        assert perf.list_records(str(tmp_path / "absent")) == []
+
+
+class TestCompare:
+    def test_identical_records_ok(self):
+        record = _record()
+        comparison = perf.compare_records(record, record)
+        assert comparison.verdict == "ok"
+        assert not comparison.regressed and not comparison.improved
+        assert comparison.ratio == 1.0
+
+    def test_2x_slowdown_regresses(self):
+        base = _record(samples=(1.0, 1.02, 0.98))
+        slow = _record(samples=(2.0, 2.04, 1.96))
+        comparison = perf.compare_records(base, slow)
+        assert comparison.regressed
+        assert comparison.verdict == "REGRESSED"
+        assert comparison.ratio == pytest.approx(2.0)
+
+    def test_2x_speedup_improves(self):
+        base = _record(samples=(2.0, 2.04, 1.96))
+        fast = _record(samples=(1.0, 1.02, 0.98))
+        assert perf.compare_records(base, fast).verdict == "improved"
+
+    def test_noise_band_absorbs_jitter(self):
+        # 8% slower but MADs are huge: inside the 3-sigma band.
+        base = _record(samples=(1.0, 1.2, 0.8))
+        jittery = _record(samples=(1.08, 1.3, 0.86))
+        assert perf.compare_records(base, jittery).verdict == "ok"
+
+    def test_min_rel_floor(self):
+        # Zero MAD (all samples equal) would make any delta regress;
+        # the relative floor keeps a 3% shift inside the band.
+        base = _record(samples=(1.0, 1.0, 1.0))
+        close = _record(samples=(1.03, 1.03, 1.03))
+        assert not perf.compare_records(base, close).regressed
+        assert perf.compare_records(base, close, min_rel=0.01).regressed
+
+    def test_workload_mismatch_raises(self):
+        with pytest.raises(BenchFormatError, match="workload"):
+            perf.compare_records(_record("a"), _record("b"))
+
+    def test_config_mismatch_raises(self):
+        base = _record()
+        other = dataclasses.replace(base, config={"system": "numeric"})
+        with pytest.raises(BenchFormatError, match="configurations"):
+            perf.compare_records(base, other)
+
+
+class TestWorkloads:
+    def test_names_listed(self):
+        names = perf.workload_names()
+        assert "grover_8q" in names and "ghz_16q" in names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(BenchFormatError, match="unknown workload"):
+            perf.record_workload("nope", repeats=1)
+
+    def test_bad_repeats_raises(self):
+        with pytest.raises(BenchFormatError, match="repeats"):
+            perf.record_workload("ghz_16q", repeats=0)
+
+    def test_record_and_compare_round_trip(self, tmp_path):
+        record = perf.record_workload("ghz_16q", repeats=3, warmup=0, now=5.0)
+        assert record.workload == "ghz_16q"
+        assert record.timing.repeats == 3
+        assert record.created_unix == 5.0
+        assert record.counters["sim.gates"] == 16
+        path = perf.save_record(record, str(tmp_path))
+        assert not perf.compare_records(perf.load_record(path), record).regressed
+
+
+class TestReports:
+    def test_record_report_mentions_workloads(self):
+        text = perf.format_record_report([_record("a"), _record("b")])
+        assert "a" in text and "b" in text and "median" in text
+
+    def test_comparison_report_mentions_verdicts(self):
+        base = _record(samples=(1.0, 1.02, 0.98))
+        slow = _record(samples=(2.0, 2.04, 1.96))
+        text = perf.format_comparison_report(
+            [perf.compare_records(base, base), perf.compare_records(base, slow)]
+        )
+        assert "ok" in text and "REGRESSED" in text

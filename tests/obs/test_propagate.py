@@ -1,0 +1,126 @@
+"""Trace-context propagation and cross-process span re-parenting."""
+
+import pytest
+
+from repro.obs import (
+    TraceContext,
+    export_worker_spans,
+    new_span_id,
+    new_trace_id,
+    reparent_spans,
+)
+from repro.obs.tracing import Tracer
+
+
+class TestIds:
+    def test_sizes_and_uniqueness(self):
+        trace_ids = {new_trace_id() for _ in range(64)}
+        span_ids = {new_span_id() for _ in range(64)}
+        assert len(trace_ids) == 64 and len(span_ids) == 64
+        assert all(len(tid) == 32 for tid in trace_ids)
+        assert all(len(sid) == 16 for sid in span_ids)
+        assert all(int(tid, 16) >= 0 for tid in trace_ids)
+
+
+class TestTraceContext:
+    def test_for_tracer_anchors_epoch(self):
+        tracer = Tracer(enabled=True)
+        context = TraceContext.for_tracer(tracer)
+        assert context.epoch_unix == tracer.epoch_unix
+        assert len(context.trace_id) == 32
+        assert len(context.parent_span_id) == 16
+
+    def test_dict_round_trip(self):
+        tracer = Tracer(enabled=True)
+        context = TraceContext.for_tracer(tracer)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_picklable(self):
+        import pickle
+
+        context = TraceContext.for_tracer(Tracer(enabled=True))
+        assert pickle.loads(pickle.dumps(context)) == context
+
+
+def _worker_payload(context, names=("exec.job", "sim.gate")):
+    """A worker-side tracer with one nested span pair, exported."""
+    worker = Tracer(enabled=True)
+    with worker.span(names[0], label="job-0"):
+        with worker.span(names[1], gate="h"):
+            pass
+    return worker, export_worker_spans(worker, context)
+
+
+class TestExportWorkerSpans:
+    def test_payload_shape(self):
+        coordinator = Tracer(enabled=True)
+        context = TraceContext.for_tracer(coordinator)
+        worker, payload = _worker_payload(context)
+        assert payload["trace_id"] == context.trace_id
+        assert payload["parent_span_id"] == context.parent_span_id
+        assert payload["epoch_unix"] == worker.epoch_unix
+        assert payload["dropped"] == 0
+        assert isinstance(payload["pid"], int)
+        names = [record["name"] for record in payload["spans"]]
+        assert names == ["sim.gate", "exec.job"]  # completion order
+
+    def test_payload_is_json_safe(self):
+        import json
+
+        context = TraceContext.for_tracer(Tracer(enabled=True))
+        _, payload = _worker_payload(context)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_without_context(self):
+        _, payload = _worker_payload(None)
+        assert payload["trace_id"] is None
+        assert payload["parent_span_id"] is None
+
+
+class TestReparentSpans:
+    def test_clock_offset_alignment(self):
+        coordinator = Tracer(enabled=True)
+        context = TraceContext.for_tracer(coordinator)
+        worker, payload = _worker_payload(context)
+        # Pretend the worker's clock epoch started 10s after the
+        # coordinator's: all adopted times must shift by +10s.
+        payload["epoch_unix"] = coordinator.epoch_unix + 10.0
+        adopted = reparent_spans(coordinator, payload, parent_depth=0)
+        original = payload["spans"]
+        for span, record in zip(adopted, original):
+            assert span.start == pytest.approx(record["start"] + 10.0)
+            assert span.seconds == pytest.approx(record["seconds"])
+
+    def test_depth_rebase_and_tags(self):
+        coordinator = Tracer(enabled=True)
+        context = TraceContext.for_tracer(coordinator)
+        _, payload = _worker_payload(context)
+        adopted = reparent_spans(coordinator, payload, parent_depth=2, tid=3)
+        by_name = {span.name: span for span in adopted}
+        job, gate = by_name["exec.job"], by_name["sim.gate"]
+        assert job.depth == 3  # parent_depth + 1 + worker depth 0
+        assert gate.depth == 4
+        # Only worker-side roots link to the exec.batch span id.
+        assert job.attrs["parent_span_id"] == context.parent_span_id
+        assert "parent_span_id" not in gate.attrs
+        for span in adopted:
+            assert span.attrs["trace_id"] == context.trace_id
+            assert span.attrs["worker_pid"] == payload["pid"]
+            assert span.pid == payload["pid"]
+            assert span.tid == 3
+
+    def test_lands_in_coordinator_ring(self):
+        coordinator = Tracer(enabled=True)
+        context = TraceContext.for_tracer(coordinator)
+        _, payload = _worker_payload(context)
+        assert len(coordinator) == 0
+        adopted = reparent_spans(coordinator, payload)
+        assert coordinator.spans() == adopted
+
+    def test_adopt_overflow_counts_dropped(self):
+        coordinator = Tracer(enabled=True, capacity=1)
+        context = TraceContext.for_tracer(coordinator)
+        _, payload = _worker_payload(context)
+        reparent_spans(coordinator, payload)
+        assert len(coordinator) == 1
+        assert coordinator.dropped == 1  # second adopted span evicted one
