@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean lint lint-baseline typecheck sanitize-smoke gc-smoke batch-smoke perf-smoke
+.PHONY: install test bench figures examples clean lint lint-baseline typecheck sanitize-smoke gc-smoke batch-smoke perf-smoke serve-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Project-specific static analysis (RL001-RL013; see
+# Project-specific static analysis (RL001-RL014; see
 # docs/STATIC_ANALYSIS.md).  Incremental (.repro_lint_cache.json) and
 # parallel; fails on any non-baselined finding.
 lint:
@@ -73,6 +73,15 @@ perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli batch --algorithm grover \
 	    --qubits 5 --workers 2 \
 	    --trace-out benchmarks/results/batch_trace.json
+
+# End-to-end persistent-service run: the Grover workload through the
+# warm-worker service twice per number system, with --verify comparing
+# every payload against the direct run path, plus the serve test
+# suite.  Exits non-zero on any mismatch, failure or rejected request.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve --workers 2 \
+	    --qubits 5 --verify
+	PYTHONPATH=src $(PYTHON) -m pytest tests/serve -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

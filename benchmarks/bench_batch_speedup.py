@@ -183,3 +183,83 @@ def test_batch_speedup(artifact_writer):
             "needs the 4-core runner (measured %.2fx)"
             % (cores, PARALLEL_WORKERS, speedup)
         )
+
+
+def test_warm_worker_vs_cold_batch(artifact_writer, bench_recorder):
+    """Same-worker repeated circuit: warm tables vs a fresh stack per job.
+
+    The persistent service (repro.serve) pins one simulator stack per
+    configuration and replays requests against its hot unique/compute/
+    weight tables.  This case quantifies that reuse on the batch
+    engine's own workload: N identical Grover jobs through cold
+    ``run_batch`` (fresh manager each) vs N ``run_with`` calls on one
+    warm simulator -- asserting byte-identical payloads and recording
+    the latency ratio as a ``BENCH_*.json`` twin of the txt artifact.
+    """
+    from repro.api import RunRequest, SimulatorConfig, run_with
+
+    repeats = 4 if FAST else 8
+    circuit = grover_circuit(GROVER_QUBITS, 3, iterations=GROVER_ITERATIONS)
+    config = SimulatorConfig()
+    requests = [
+        RunRequest(circuit, config, label=f"job{i}") for i in range(repeats)
+    ]
+
+    start = time.perf_counter()
+    cold = run_batch(requests, workers=1)
+    cold_wall = time.perf_counter() - start
+    assert cold.ok
+    cold_per_job = cold_wall / repeats
+
+    simulator = config.create_simulator(circuit.num_qubits)
+    warm_samples = []
+    warm_results = []
+    for request in requests:
+        start = time.perf_counter()
+        warm_results.append(run_with(request, simulator, keep_state=False))
+        warm_samples.append(time.perf_counter() - start)
+
+    # Warm reuse must never change payloads (metrics/seconds excluded:
+    # the warm scope accumulates across requests by design).
+    for cold_result, warm_result in zip(cold.results, warm_results):
+        assert _payload_fingerprint(cold_result) == _payload_fingerprint(warm_result)
+
+    warm_median = sorted(warm_samples)[len(warm_samples) // 2]
+    ratio = cold_per_job / warm_median if warm_median else float("inf")
+
+    lines = [
+        "warm worker vs cold batch: %d identical %s jobs" % (repeats, circuit.name),
+        "=" * 66,
+        "cold run_batch (workers=1): %.4fs wall, %.4fs per job"
+        % (cold_wall, cold_per_job),
+        "warm run_with (one simulator): median %.4fs, first %.4fs"
+        % (warm_median, warm_samples[0]),
+        "cold-per-job / warm-median: %.2fx" % ratio,
+        "determinism: all %d payloads byte-identical" % repeats,
+    ]
+    artifact_writer("warm_vs_cold.txt", "\n".join(lines))
+    bench_recorder(
+        workload="warm_vs_cold_grover_%dq" % GROVER_QUBITS,
+        samples=warm_samples,
+        config={
+            "qubits": GROVER_QUBITS,
+            "iterations": GROVER_ITERATIONS,
+            "repeats": repeats,
+            "system": config.system,
+            "fast": FAST,
+        },
+        counters={
+            "cold_wall_seconds": cold_wall,
+            "cold_per_job_seconds": cold_per_job,
+            "warm_median_seconds": warm_median,
+            "cold_over_warm_ratio": ratio,
+        },
+    )
+
+    # Warm tables must at least halve the per-job cost (the serve
+    # acceptance bar); in practice the ratio is ~10x.
+    if not FAST:
+        assert warm_median <= 0.5 * cold_per_job, (
+            "warm median %.4fs not <= 0.5x cold per-job %.4fs"
+            % (warm_median, cold_per_job)
+        )

@@ -78,6 +78,7 @@ __all__ = [
     "make_simulator",
     "run",
     "run_batch",
+    "run_with",
 ]
 
 #: The number-system choices of the facade (and of every CLI subcommand).
@@ -332,17 +333,60 @@ class RunResult:
         }
 
 
-def run(request: RunRequest, telemetry: Optional[Telemetry] = None) -> RunResult:
+def run(
+    request: RunRequest,
+    telemetry: Optional[Telemetry] = None,
+    client: Optional[Any] = None,
+) -> RunResult:
     """Execute one request in the current process.
 
     ``telemetry`` overrides the scope built from the config -- the batch
     worker passes its own so a partial snapshot survives job failure.
+
+    ``client`` targets a running :class:`repro.serve.SimulationService`
+    instead: the request goes through the service's shard router, warm
+    workers and result cache, and the call returns the byte-identical
+    payload the in-process path would produce (or raises the service's
+    typed :class:`~repro.errors.QueueFull` /
+    :class:`~repro.errors.DeadlineExceeded` rejections).
     """
+    if client is not None:
+        return client.submit(request)
     config = request.config
     circuit = request.circuit
     scope = telemetry if telemetry is not None else config.create_telemetry()
     manager = config.create_manager(circuit.num_qubits, scope)
     simulator = Simulator(manager, config=config)
+    return run_with(request, simulator, telemetry=scope)
+
+
+def run_with(
+    request: RunRequest,
+    simulator: Simulator,
+    telemetry: Optional[Telemetry] = None,
+    keep_state: bool = True,
+) -> RunResult:
+    """Execute one request on an *existing* simulator stack.
+
+    This is the warm path behind :func:`run` (which builds a fresh
+    manager and simulator per call) and the persistent service's worker
+    loop (:mod:`repro.serve`), which reuses one manager per
+    configuration so unique/compute/weight tables stay hot across
+    requests.  The simulator's manager must match the request's
+    configuration and circuit width; results are byte-identical to the
+    cold path because DD canonicity makes serialized payloads
+    value-based, not history-based.
+
+    ``telemetry`` is the scope whose metrics snapshot lands on the
+    result (defaults to the simulator's own scope).  ``keep_state=False``
+    releases the final state's GC root registration after the state is
+    serialized -- the long-lived service worker keeps tables warm
+    without accumulating one live root per served request.
+    """
+    config = request.config
+    circuit = request.circuit
+    scope = telemetry if telemetry is not None else simulator.telemetry
+    manager = simulator.manager
 
     reference_states: List[Edge] = []
     reference_manager: Optional[DDManager] = None
@@ -384,7 +428,9 @@ def run(request: RunRequest, telemetry: Optional[Telemetry] = None) -> RunResult
         final_vector = manager.to_statevector(outcome.state)
         fidelity = float(abs(np.vdot(reference_vector, final_vector)) ** 2)
 
-    return RunResult(
+    # Metrics read before the state release below so node_count /
+    # is_zero_state observe the live DD.
+    result = RunResult(
         label=request.job_label,
         config=config,
         num_qubits=circuit.num_qubits,
@@ -398,6 +444,15 @@ def run(request: RunRequest, telemetry: Optional[Telemetry] = None) -> RunResult
         fidelity=fidelity,
         metrics=dict(scope.metrics.snapshot()),
     )
+    if not keep_state:
+        # Simulator.run transfers the final state's root registration to
+        # the caller (when GC is active); the state has been serialized
+        # into the result, so a caller that only wants the payload hands
+        # the root back here instead of leaking one per request.
+        memory = manager.memory
+        if memory.config.enabled or memory.config.budget is not None:
+            memory.dec_ref(outcome.state)
+    return result
 
 
 def run_batch(
@@ -407,6 +462,7 @@ def run_batch(
     retries: int = 0,
     backoff: float = 0.5,
     telemetry: Optional[Telemetry] = None,
+    client: Optional[Any] = None,
 ) -> "BatchResult":
     """Fan independent requests out over a process pool.
 
@@ -417,7 +473,18 @@ def run_batch(
     ``backoff`` turn individual crashes into typed
     :class:`~repro.exec.batch.JobFailure` records instead of aborting
     the sweep.  See :mod:`repro.exec` for the engine semantics.
+
+    ``client`` routes the whole batch through a running
+    :class:`repro.serve.SimulationService` instead of spawning a pool:
+    warm workers, shared result cache, per-request ``timeout`` as the
+    service deadline.  ``workers``/``retries``/``backoff`` are the
+    pool's knobs and are ignored on the client path (the service's own
+    worker fleet and backpressure apply); the returned
+    :class:`~repro.exec.batch.BatchResult` keeps the same shape, with
+    typed rejections recorded as failures.
     """
+    if client is not None:
+        return client.run_batch(requests, timeout=timeout)
     from repro.exec.batch import run_batch as _run_batch
 
     return _run_batch(

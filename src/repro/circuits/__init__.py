@@ -1,5 +1,10 @@
 """Quantum-circuit substrate: gates, circuits, composite builders, QASM I/O."""
 
+from repro.circuits.canonical import (
+    canonical_hash,
+    circuit_fingerprint,
+    config_fingerprint,
+)
 from repro.circuits.circuit import Circuit, Operation
 from repro.circuits.gates import (
     H,
@@ -51,6 +56,9 @@ __all__ = [
     "Y",
     "Z",
     "basis_permutation_circuit",
+    "canonical_hash",
+    "circuit_fingerprint",
+    "config_fingerprint",
     "count_multi_controls",
     "expand_negative_controls",
     "from_qasm",

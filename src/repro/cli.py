@@ -54,6 +54,19 @@ Subcommands mirror the evaluation workflow:
     ``benchmarks/baselines/`` with noise-aware bands (non-zero exit on
     regression), and print result tables.
 
+``repro-qmdd serve --workers 2 --verify``
+    Run an embedded :class:`repro.serve.SimulationService` session: a
+    mixed workload across all four number systems goes through the
+    service twice (cache miss then hit), ``--verify`` asserts every
+    payload byte-identical to the direct :func:`repro.api.run` path,
+    and the ``serve.*`` telemetry is printed after a clean shutdown.
+    Exit 1 on any mismatch or failed request.
+
+``repro-qmdd serve-bench --qubits 8``
+    The service latency benchmark (see ``repro.serve.bench``): warm
+    repeat-request p50/p99 and throughput vs the cold batch per-job
+    cost, written as ``BENCH_serve_*.json`` via ``repro.obs.perf``.
+
 The simulation flags (``--system``, ``--eps``, ``--gc``,
 ``--sanitize``, ``--workers``) are spelled and defaulted identically
 on every sweep-capable subcommand; they come from one shared parent
@@ -448,6 +461,122 @@ def _cmd_perf_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import run
+    from repro.serve import SimulationService
+
+    marked = (1 << args.qubits) * 2 // 3
+    circuit = grover_circuit(args.qubits, marked)
+    configs = [
+        SimulatorConfig(system="algebraic"),
+        SimulatorConfig(system="algebraic-gcd"),
+        SimulatorConfig(system="numeric", eps=args.eps),
+        SimulatorConfig(system="numeric", precision="single"),
+    ]
+    requests = [
+        RunRequest(circuit, config, label=f"serve/{config.system}/{config.precision}/{config.eps:g}")
+        for config in configs
+    ]
+    print(
+        f"service session: {circuit.name} ({circuit.num_qubits} qubits, "
+        f"{len(circuit)} gates) x {len(requests)} configs x 2 passes "
+        f"({args.workers} {args.mode} worker(s))"
+    )
+    mismatches = 0
+    failures = 0
+    with SimulationService(
+        workers=args.workers,
+        mode=args.mode,
+        cache_capacity=args.cache_size,
+        queue_size=args.queue_size,
+    ) as service:
+        for request in requests:
+            reference = run(request) if args.verify else None
+            for attempt in ("miss", "hit"):
+                try:
+                    result = run(request, client=service)
+                except Exception as error:  # noqa: BLE001 - reported, exit 1
+                    failures += 1
+                    print(f"FAILED {request.job_label} [{attempt}]: {error}")
+                    continue
+                verdict = ""
+                if reference is not None:
+                    identical = (
+                        result.state_payload == reference.state_payload
+                        and result.node_count == reference.node_count
+                        and result.is_zero_state == reference.is_zero_state
+                    )
+                    if not identical:
+                        mismatches += 1
+                    verdict = "  payload==direct" if identical else "  PAYLOAD MISMATCH"
+                print(
+                    f"  {request.job_label:<36} [{attempt}] "
+                    f"{result.node_count:>6} nodes  {result.seconds:.4f}s{verdict}"
+                )
+        stats = service.stats()
+    print()
+    print("service telemetry:")
+    for name in sorted(stats):
+        if name.startswith("serve.") and not isinstance(stats[name], dict):
+            print(f"  {name:<28} {stats[name]}")
+    seconds_hist = stats.get("serve.request.seconds")
+    if isinstance(seconds_hist, dict):
+        print(
+            "  %-28s count=%d mean=%.4fs"
+            % ("serve.request.seconds", seconds_hist["count"], seconds_hist["mean"])
+        )
+    if mismatches or failures:
+        print(f"FAIL: {mismatches} payload mismatch(es), {failures} failed request(s)")
+        return 1
+    print("clean shutdown; all payloads byte-identical" if args.verify else "clean shutdown")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.obs.perf import BenchRecord, save_record
+    from repro.serve.bench import run_serve_bench
+
+    report = run_serve_bench(
+        qubits=args.qubits,
+        iterations=args.iterations,
+        repeats=args.repeats,
+        workers=args.workers,
+        mode=args.mode,
+    )
+    print(
+        "serve bench: %s (%d gates), %d repeats, %d %s worker(s)"
+        % (
+            report["circuit"]["name"],
+            report["circuit"]["num_gates"],
+            args.repeats,
+            args.workers,
+            args.mode,
+        )
+    )
+    print("  cold per-job   %.4fs  (run_batch workers=1)" % report["cold_per_job_seconds"])
+    print(
+        "  warm p50/p99   %.4fs / %.4fs  (%.1f req/s, cache off)"
+        % (
+            report["warm_p50_seconds"],
+            report["warm_p99_seconds"],
+            report["warm_throughput_rps"],
+        )
+    )
+    print("  cached p50     %.4fs  (canonical-form LRU hit)" % report["cached_p50_seconds"])
+    print("  cold/warm      %.2fx" % report["cold_over_warm_speedup"])
+    if args.out_dir:
+        record = BenchRecord.from_dict(report["record"])
+        path = save_record(record, args.out_dir)
+        print(f"wrote {path}")
+    if report["cold_over_warm_speedup"] < args.min_speedup:
+        print(
+            "FAIL: warm median %.4fs is not <= %.2fx of the cold per-job cost"
+            % (report["warm_p50_seconds"], 1.0 / args.min_speedup)
+        )
+        return 1
+    return 0
+
+
 def _cmd_tradeoff(args: argparse.Namespace) -> int:
     circuit = _build_circuit(args)
     result = run_tradeoff(circuit, include_gcd=args.include_gcd, workers=args.workers)
@@ -746,6 +875,60 @@ def main(argv: Optional[list] = None) -> int:
         "--dir", default="benchmarks/results", help="record directory"
     )
     perf_report.set_defaults(func=_cmd_perf_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run an embedded simulation-service session (mixed workload)",
+    )
+    serve.add_argument("--workers", type=int, default=2, help="service worker fleet size")
+    serve.add_argument(
+        "--mode",
+        choices=("inline", "process"),
+        default="inline",
+        help="worker placement: in-process or child processes",
+    )
+    serve.add_argument("--qubits", type=int, default=5, help="Grover data qubits")
+    serve.add_argument("--eps", type=float, default=1e-10, help="numeric tolerance job")
+    serve.add_argument(
+        "--queue-size", type=int, default=32, help="per-worker request queue bound"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="result-cache entries (0 = off)"
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert every service payload byte-identical to direct run()",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="warm vs cold service latency benchmark (BENCH_serve_*.json)",
+    )
+    serve_bench.add_argument("--qubits", type=int, default=8, help="Grover data qubits")
+    serve_bench.add_argument(
+        "--iterations", type=int, default=6, help="Grover iterations"
+    )
+    serve_bench.add_argument(
+        "--repeats", type=int, default=12, help="timed repeat requests per mode"
+    )
+    serve_bench.add_argument("--workers", type=int, default=1)
+    serve_bench.add_argument(
+        "--mode", choices=("inline", "process"), default="inline"
+    )
+    serve_bench.add_argument(
+        "--out-dir",
+        default="benchmarks/results",
+        help="directory for the BENCH_serve_*.json record ('' = skip)",
+    )
+    serve_bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required cold-per-job / warm-median ratio (exit 1 below it)",
+    )
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     tradeoff = sub.add_parser(
         "tradeoff", help="run the epsilon sweep", parents=[config_parent]

@@ -142,6 +142,39 @@ class BenchFormatError(TelemetryError):
     records)."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the persistent simulation service
+    (:mod:`repro.serve`).  The two typed rejections below are the
+    service's backpressure contract (see ``docs/API.md``): callers can
+    catch them separately from real simulation failures and react
+    (shed load, retry later, relax the deadline)."""
+
+
+class QueueFull(ServeError):
+    """A request was rejected because its shard's queue is at capacity.
+
+    Raised by :meth:`repro.serve.ServiceFrontend.submit` *immediately*
+    (submission never blocks): the bounded per-worker queue routed to
+    by the shard router is full.  The request was not executed and had
+    no side effects; counted under ``serve.rejected.queue_full``.
+    """
+
+
+class DeadlineExceeded(ServeError):
+    """A request missed its per-request deadline.
+
+    Raised when the deadline passes while the request is still queued
+    (the worker never starts it) or when the worker-side alarm
+    interrupts the simulation mid-run.  Counted under
+    ``serve.rejected.deadline``.
+    """
+
+
+class ServiceClosed(ServeError):
+    """A request was submitted to a service that is shut down (or was
+    never started)."""
+
+
 class ConfigError(ReproError):
     """Raised by :mod:`repro.api` for invalid configuration values.
 

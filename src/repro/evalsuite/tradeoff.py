@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import RunRequest, SimulatorConfig, run_batch
+from repro.circuits.canonical import canonical_hash
 from repro.circuits.circuit import Circuit
 from repro.errors import SimulationError
 from repro.sim.trace import SimulationTrace
@@ -43,6 +44,11 @@ class TradeoffResult:
     num_gates: int
     traces: Dict[str, SimulationTrace] = field(default_factory=dict)
     final_zero: Dict[str, bool] = field(default_factory=dict)
+    #: Canonical structural identity of the swept circuit
+    #: (:func:`repro.circuits.canonical_hash`) -- display names like
+    #: ``grover_5q_m21`` are presentation, not identity, so archived
+    #: experiment results are matched up by this hash.
+    circuit_hash: str = ""
 
     def configurations(self) -> List[str]:
         return list(self.traces)
@@ -180,6 +186,7 @@ def run_tradeoff(
         circuit_name=circuit.name,
         num_qubits=circuit.num_qubits,
         num_gates=len(circuit),
+        circuit_hash=canonical_hash(circuit),
     )
     for job in batch.completed:
         result.traces[job.label] = job.trace

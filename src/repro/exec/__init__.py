@@ -27,6 +27,6 @@ Callers should reach this engine through the facade --
 
 from __future__ import annotations
 
-from repro.exec.batch import BatchResult, JobFailure, run_batch
+from repro.exec.batch import BatchResult, JobFailure, JobTimeout, deadline_guard, run_batch
 
-__all__ = ["BatchResult", "JobFailure", "run_batch"]
+__all__ = ["BatchResult", "JobFailure", "JobTimeout", "deadline_guard", "run_batch"]

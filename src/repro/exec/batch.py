@@ -70,7 +70,13 @@ from repro.obs import (
     reparent_spans,
 )
 
-__all__ = ["BatchResult", "JobFailure", "JobTimeout", "run_batch"]
+__all__ = [
+    "BatchResult",
+    "JobFailure",
+    "JobTimeout",
+    "deadline_guard",
+    "run_batch",
+]
 
 #: Histogram buckets for per-job wall time (seconds): batch jobs span
 #: sub-10ms smoke circuits up to multi-minute GSE sweeps.
@@ -166,13 +172,15 @@ class BatchResult:
 
 
 @contextmanager
-def _deadline(seconds: Optional[float]) -> Iterator[None]:
+def deadline_guard(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`JobTimeout` in this thread after ``seconds``.
 
     ``SIGALRM`` only works on the main thread of a process; worker
     processes always run jobs there, but the in-process fallback may
     not (e.g. under a threaded test runner), in which case the deadline
-    is skipped rather than armed incorrectly.
+    is skipped rather than armed incorrectly.  Shared with the
+    persistent service's worker loop (:mod:`repro.serve.worker`), whose
+    child processes likewise run jobs on their main thread.
     """
     if (
         not seconds
@@ -223,7 +231,7 @@ def _execute_job(
         job_attrs["trace_id"] = context.trace_id
         job_attrs["parent_span_id"] = context.parent_span_id
     try:
-        with _deadline(timeout):
+        with deadline_guard(timeout):
             with scope.tracer.span("exec.job", **job_attrs):
                 result = run(request, telemetry=scope)
         outcome: Dict[str, Any] = {"ok": True, "result": result}

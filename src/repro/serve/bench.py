@@ -1,0 +1,155 @@
+r"""Service latency benchmark: warm workers vs the cold batch path.
+
+The claim the service has to earn: a repeated request answered by a
+*warm* worker (hot unique/compute/weight tables, pinned gate DDs --
+result cache deliberately disabled) is at least 2x cheaper than the
+cold path that builds a fresh manager per job.  This module measures
+exactly that on the paper's Grover workload and emits a versioned
+:class:`~repro.obs.perf.BenchRecord` (``BENCH_serve_grover_<n>q.json``)
+so CI can hold the ratio with the 3-sigma MAD band of
+:func:`repro.obs.perf.compare_records`.
+
+Three timings per run:
+
+``cold``     per-job cost of :func:`repro.api.run_batch` (workers=1) --
+             fresh manager/simulator stack for every job.
+``warm``     per-request latency through a service whose result cache
+             is OFF: every request really simulates, but on hot tables.
+``cached``   per-request latency with the cache ON: after the first
+             miss, requests are answered from the canonical-form LRU.
+
+Driven by ``repro-qmdd serve-bench`` and the committed baseline under
+``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.algorithms.grover import grover_circuit
+from repro.api import RunRequest, SimulatorConfig, run_batch
+from repro.obs.perf import BenchRecord, TimingStats
+from repro.serve.service import SimulationService
+
+__all__ = ["percentile", "run_serve_bench"]
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``samples`` (nearest-rank)."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _latency_series(
+    service: SimulationService, request: RunRequest, repeats: int
+) -> List[float]:
+    samples: List[float] = []
+    for index in range(repeats):
+        timed = RunRequest(
+            request.circuit, request.config, label=f"{request.job_label}#{index}"
+        )
+        started = time.perf_counter()
+        service.submit(timed)
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def run_serve_bench(
+    qubits: int = 8,
+    iterations: int = 6,
+    repeats: int = 12,
+    workers: int = 1,
+    mode: str = "inline",
+    config: Optional[SimulatorConfig] = None,
+) -> Dict[str, Any]:
+    """Measure cold vs warm vs cached latency on one Grover workload.
+
+    Returns a JSON-ready report dict with a ``record`` entry holding
+    the :class:`~repro.obs.perf.BenchRecord` payload (timing = the
+    warm-path samples; the cold/cached numbers ride as counters).
+    """
+    if repeats < 2:
+        raise ValueError("serve bench needs at least 2 repeats")
+    config = config if config is not None else SimulatorConfig()
+    circuit = grover_circuit(qubits, 3, iterations=iterations)
+    request = RunRequest(circuit, config, label="serve-bench")
+
+    # Cold reference: the per-job cost of the batch engine's fresh
+    # manager-per-job path over the same number of identical jobs.
+    cold_jobs = [
+        RunRequest(circuit, config, label=f"cold#{index}") for index in range(repeats)
+    ]
+    started = time.perf_counter()
+    cold_batch = run_batch(cold_jobs, workers=1)
+    cold_wall = time.perf_counter() - started
+    if not cold_batch.ok:
+        failure = cold_batch.failures[0]
+        raise RuntimeError(
+            f"cold reference batch failed: {failure.error_type}: {failure.message}"
+        )
+    cold_per_job = cold_wall / repeats
+
+    # Warm path: cache off -- every request simulates on hot tables.
+    with SimulationService(
+        workers=workers, mode=mode, cache_capacity=0
+    ) as service:
+        warm_first = _latency_series(service, request, 1)[0]  # builds the entry
+        warm_samples = _latency_series(service, request, repeats)
+
+    # Cached path: first request misses and fills, the rest hit.
+    with SimulationService(workers=workers, mode=mode) as service:
+        _latency_series(service, request, 1)
+        cached_samples = _latency_series(service, request, repeats)
+        cache_stats = service.stats()
+
+    warm_median = percentile(warm_samples, 0.5)
+    speedup = cold_per_job / warm_median if warm_median else float("inf")
+    counters = {
+        "cold_per_job_seconds": cold_per_job,
+        "cold_wall_seconds": cold_wall,
+        "warm_first_seconds": warm_first,
+        "warm_p50_seconds": warm_median,
+        "warm_p99_seconds": percentile(warm_samples, 0.99),
+        "warm_throughput_rps": (
+            len(warm_samples) / sum(warm_samples) if sum(warm_samples) else 0.0
+        ),
+        "cached_p50_seconds": percentile(cached_samples, 0.5),
+        "cached_p99_seconds": percentile(cached_samples, 0.99),
+        "cold_over_warm_speedup": speedup,
+        "cache_hits": int(cache_stats.get("serve.cache.hits", 0)),
+        "cache_misses": int(cache_stats.get("serve.cache.misses", 0)),
+    }
+    record = BenchRecord(
+        workload=f"serve_grover_{qubits}q",
+        config={
+            "qubits": qubits,
+            "iterations": iterations,
+            "repeats": repeats,
+            "workers": workers,
+            "mode": mode,
+            "system": config.system,
+            "eps": config.eps,
+        },
+        timing=TimingStats.from_samples(warm_samples),
+        counters=counters,
+        created_unix=time.time(),
+    )
+    return {
+        "workload": record.workload,
+        "circuit": {
+            "name": circuit.name,
+            "num_qubits": circuit.num_qubits,
+            "num_gates": len(circuit),
+        },
+        "cold_per_job_seconds": cold_per_job,
+        "warm_p50_seconds": warm_median,
+        "warm_p99_seconds": counters["warm_p99_seconds"],
+        "warm_throughput_rps": counters["warm_throughput_rps"],
+        "cached_p50_seconds": counters["cached_p50_seconds"],
+        "cold_over_warm_speedup": speedup,
+        "record": record.to_dict(),
+    }

@@ -1,0 +1,73 @@
+r"""The wire protocol between the service front-end and its workers.
+
+Everything crossing the worker boundary is plain, picklable data --
+the same transport discipline as the batch engine
+(:mod:`repro.exec.batch`): a :class:`ServeRequest` carries a
+:class:`~repro.api.RunRequest` (itself built from picklable parts) plus
+the service envelope (sequence number, remaining deadline), and a
+:class:`ServeResponse` carries either a :class:`~repro.api.RunResult`
+or a typed failure description.  Worker processes receive requests over
+a :class:`multiprocessing.Pipe`; the in-process worker mode passes the
+same objects by reference.
+
+``SHUTDOWN`` is the sentinel the front-end sends to end a worker loop
+cleanly (flushes the pipe, joins the process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.api import RunRequest, RunResult
+
+__all__ = ["SHUTDOWN", "ServeRequest", "ServeResponse"]
+
+#: Sentinel ending a worker loop (string: trivially picklable/comparable).
+SHUTDOWN = "__repro_serve_shutdown__"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One request as dispatched to a worker.
+
+    ``seq`` is the front-end's monotonically increasing request number
+    (response correlation and log lines).  ``timeout`` is the
+    *remaining* per-request budget in seconds at dispatch time -- an
+    interval, not an absolute timestamp, because worker clocks are not
+    the front-end's clock.  Worker processes arm it with the batch
+    engine's ``SIGALRM`` deadline guard.
+    """
+
+    seq: int
+    request: RunRequest
+    timeout: Optional[float] = None
+
+
+@dataclass
+class ServeResponse:
+    """A worker's answer to one :class:`ServeRequest`.
+
+    Exactly one of ``result`` (success) or ``error_type``/``message``
+    (typed failure, mirroring :class:`~repro.exec.batch.JobFailure`) is
+    populated.  ``timed_out`` marks worker-side deadline hits so the
+    front-end can convert them into the typed
+    :class:`~repro.errors.DeadlineExceeded` rejection.  ``spans`` is
+    the serialized tracer ring when the request carried a
+    :class:`~repro.obs.TraceContext` (shipped on success and failure
+    alike, as in the batch engine); ``metrics`` is the partial
+    telemetry snapshot of a failed attempt.  ``warm`` reports whether
+    the worker served the request from an already-hot manager (table
+    reuse) or had to build one.
+    """
+
+    seq: int
+    ok: bool
+    worker_id: int
+    result: Optional[RunResult] = None
+    error_type: str = ""
+    message: str = ""
+    timed_out: bool = False
+    warm: bool = False
+    spans: Optional[Dict[str, Any]] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,59 @@
+r"""Shard routing: pin similar requests to the same warm worker.
+
+A warm worker's payoff is table locality: a :class:`~repro.dd.manager.
+DDManager` whose unique/compute/weight tables were populated by one
+Grover run answers the next Grover run mostly from cache.  That only
+happens if requests with the same configuration land on the same
+worker, so the router shards deterministically by the *warm-entry
+identity*: number system, numeric variant knobs, and the qubit-count
+bucket (managers are built per width; bucketing adjacent widths keeps
+the shard count stable while a sweep ramps qubits).
+
+The shard index comes from SHA-256 over the shard key's repr --
+**not** the builtin ``hash()``, which is salted per process
+(``PYTHONHASHSEED``) and would scatter the same workload differently
+every service start, defeating warm reuse and making latency
+irreproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from repro.api import RunRequest
+
+__all__ = ["ShardRouter"]
+
+#: Qubit widths per routing bucket: 1-4 qubits share a shard key, 5-8
+#: the next, and so on.
+DEFAULT_BUCKET_SIZE = 4
+
+
+class ShardRouter:
+    """Deterministic request-to-worker assignment."""
+
+    def __init__(self, num_workers: int, bucket_size: int = DEFAULT_BUCKET_SIZE) -> None:
+        if num_workers < 1:
+            raise ValueError("router needs at least one worker")
+        if bucket_size < 1:
+            raise ValueError("bucket size must be positive")
+        self.num_workers = num_workers
+        self.bucket_size = bucket_size
+
+    def shard_key(self, request: RunRequest) -> Tuple[object, ...]:
+        """The warm-entry identity this request will want on its worker."""
+        config = request.config
+        bucket = (request.circuit.num_qubits - 1) // self.bucket_size
+        return (
+            config.system,
+            config.eps,
+            config.normalization,
+            config.precision,
+            bucket,
+        )
+
+    def route(self, request: RunRequest) -> int:
+        """Worker index in ``range(num_workers)`` for this request."""
+        digest = hashlib.sha256(repr(self.shard_key(request)).encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_workers

@@ -1,0 +1,70 @@
+"""Payload stability of repro.dd.serialize across repeated cycles.
+
+The persistent service (repro.serve) replays cached serialized states
+and re-serializes warm-run states from long-lived managers, so the
+contract it leans on is pinned down here: within one process, dumps ->
+loads -> dumps is a fixed point -- the payload text never drifts, no
+matter how many cycles it goes through, into a fresh manager or back
+into the manager that produced it, for all four number systems.
+"""
+
+import pytest
+
+from repro.api import RunRequest, SimulatorConfig, run
+from repro.circuits.circuit import Circuit
+from repro.dd.serialize import dumps, loads
+
+CYCLES = 5
+
+CONFIGS = [
+    pytest.param(SimulatorConfig(system="algebraic"), id="algebraic"),
+    pytest.param(SimulatorConfig(system="algebraic-gcd"), id="algebraic-gcd"),
+    pytest.param(SimulatorConfig(system="numeric", eps=1e-10), id="numeric-eps"),
+    pytest.param(
+        SimulatorConfig(system="numeric", precision="single"), id="numeric-single"
+    ),
+]
+
+
+def _workload() -> Circuit:
+    # Non-trivial weights on every branch: H/T phases plus entanglement.
+    circuit = Circuit(4, name="stability")
+    circuit.h(0).t(0).cx(0, 1).h(2).s(2).cx(2, 3).ccx(0, 2, 3).tdg(1)
+    return circuit
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+class TestPayloadStability:
+    def test_fresh_manager_cycles_are_fixed_point(self, config):
+        circuit = _workload()
+        payload = run(RunRequest(circuit, config)).state_payload
+        for _ in range(CYCLES):
+            manager = config.create_manager(circuit.num_qubits)
+            state = loads(manager, payload)
+            assert dumps(manager, state) == payload
+
+    def test_same_manager_cycles_are_fixed_point(self, config):
+        # The serve worker's shape: one long-lived manager re-serializes
+        # states over and over while its tables keep growing.
+        circuit = _workload()
+        payload = run(RunRequest(circuit, config)).state_payload
+        manager = config.create_manager(circuit.num_qubits)
+        for _ in range(CYCLES):
+            state = loads(manager, payload)
+            assert dumps(manager, state) == payload
+
+    def test_repeated_runs_in_one_manager_reproduce_payload(self, config):
+        # Warm-table reuse must not change the serialized result: run
+        # the same circuit repeatedly through one simulator stack (hot
+        # unique/compute/weight tables) and compare each payload to the
+        # cold-run payload.
+        from repro.api import run_with
+
+        circuit = _workload()
+        cold = run(RunRequest(circuit, config)).state_payload
+        simulator = config.create_simulator(circuit.num_qubits)
+        for _ in range(CYCLES):
+            warm = run_with(
+                RunRequest(circuit, config), simulator, keep_state=False
+            )
+            assert warm.state_payload == cold

@@ -1,0 +1,78 @@
+"""ShardRouter: deterministic, warm-locality-preserving assignment."""
+
+import pytest
+
+from repro.api import RunRequest, SimulatorConfig
+from repro.circuits.library import ghz_circuit
+from repro.serve.router import ShardRouter
+
+
+def _request(qubits=4, **config_kwargs):
+    return RunRequest(ghz_circuit(qubits), SimulatorConfig(**config_kwargs))
+
+
+class TestRouting:
+    def test_same_identity_same_worker(self):
+        router = ShardRouter(num_workers=4)
+        assert router.route(_request()) == router.route(_request())
+
+    def test_route_is_independent_of_display_name(self):
+        router = ShardRouter(num_workers=4)
+        a = _request()
+        b = RunRequest(a.circuit, a.config, label="renamed")
+        assert router.route(a) == router.route(b)
+
+    def test_qubit_bucketing_keeps_adjacent_widths_together(self):
+        router = ShardRouter(num_workers=8, bucket_size=4)
+        # 1-4 qubits share a bucket; 5 starts the next one.
+        assert router.shard_key(_request(2)) == router.shard_key(_request(4))
+        assert router.shard_key(_request(4)) != router.shard_key(_request(5))
+
+    def test_different_systems_may_split(self):
+        router = ShardRouter(num_workers=64)
+        keys = {
+            router.shard_key(_request(system="algebraic")),
+            router.shard_key(_request(system="algebraic-gcd")),
+            router.shard_key(_request(system="numeric")),
+            router.shard_key(_request(system="numeric", eps=1e-10)),
+            router.shard_key(_request(system="numeric", precision="single")),
+        }
+        assert len(keys) == 5
+
+    def test_route_stays_in_range(self):
+        for workers in (1, 2, 3, 7):
+            router = ShardRouter(num_workers=workers)
+            for qubits in range(1, 10):
+                assert 0 <= router.route(_request(qubits)) < workers
+
+    def test_route_is_not_process_salted(self):
+        # sha256-based, never builtin hash(): the same request must land
+        # on the same shard in every interpreter (PYTHONHASHSEED-proof).
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.api import RunRequest, SimulatorConfig\n"
+            "from repro.circuits.library import ghz_circuit\n"
+            "from repro.serve.router import ShardRouter\n"
+            "router = ShardRouter(num_workers=16)\n"
+            "req = RunRequest(ghz_circuit(6), SimulatorConfig(system='numeric', eps=1e-10))\n"
+            "print(router.route(req))\n"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout.strip()
+            for seed in ("0", "1", "12345")
+        }
+        assert len(outputs) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_workers=0)
+        with pytest.raises(ValueError):
+            ShardRouter(num_workers=2, bucket_size=0)

@@ -1,0 +1,105 @@
+"""Async-safety rule: RL014.
+
+The service frontend (``repro.serve``) multiplexes every request
+through one asyncio event loop; a single blocking call inside an
+``async def`` handler stalls *all* queues, deadlines and dispatchers
+at once -- the classic "one slow request freezes the service" trap.
+Blocking work belongs in the worker clients, reached through
+``loop.run_in_executor``.  RL014 flags synchronous sleeps and
+subprocess launches lexically inside async functions under
+``repro/serve``; nested *sync* ``def``s are exempt (they are exactly
+the executor-targeted escape hatch).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.core import Finding, Rule, posix
+
+if TYPE_CHECKING:
+    from tools.repro_lint.analysis import AnalysisContext
+
+#: ``module.attr`` calls that block the calling thread outright.
+_BLOCKING_ATTRS = frozenset(
+    {
+        ("time", "sleep"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("subprocess", "Popen"),
+        ("os", "system"),
+    }
+)
+
+#: Bare names that block even when imported directly
+#: (``from time import sleep``).
+_BLOCKING_NAMES = frozenset({"sleep", "check_call", "check_output", "Popen"})
+
+
+def _in_serve(path: str) -> bool:
+    return "repro/serve/" in posix(path)
+
+
+def _blocking_reason(node: ast.Call) -> "str | None":
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and (func.value.id, func.attr) in _BLOCKING_ATTRS
+    ):
+        return f"{func.value.id}.{func.attr}()"
+    if isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+        return f"{func.id}()"
+    return None
+
+
+def _async_body_calls(scope: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically in the async scope, not in nested sync defs.
+
+    A nested ``def`` is the blessed shape for executor offloading, so
+    its body is *not* part of the event-loop critical path; a nested
+    ``async def`` is, and is walked when visited as its own scope.
+    """
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _rl014_check(
+    tree: ast.AST, path: str, ctx: "AnalysisContext"
+) -> Iterator[Finding]:
+    for scope in ast.walk(tree):
+        if not isinstance(scope, ast.AsyncFunctionDef):
+            continue
+        for call in _async_body_calls(scope):
+            reason = _blocking_reason(call)
+            if reason is None:
+                continue
+            yield Finding(
+                "RL014",
+                path,
+                call.lineno,
+                call.col_offset,
+                f"blocking {reason} inside async handler "
+                f"{scope.name!r} stalls the whole service event loop; "
+                "await asyncio.sleep() for delays and push blocking "
+                "work through loop.run_in_executor",
+            )
+
+
+RULES = (
+    Rule(
+        "RL014",
+        "blocking call inside a repro.serve async handler",
+        _in_serve,
+        _rl014_check,
+    ),
+)

@@ -1,0 +1,52 @@
+# lint-path: src/repro/serve/rogue_frontend.py
+"""RL014: async service handlers must never block the event loop."""
+
+import asyncio
+import os
+import subprocess
+import time
+from subprocess import Popen, check_output
+from time import sleep
+
+
+async def poll_with_sync_sleep(queue):
+    while queue.empty():
+        time.sleep(0.05)  # lint-expect: RL014
+    return queue.get_nowait()
+
+
+async def poll_with_imported_sleep(queue):
+    sleep(0.05)  # lint-expect: RL014
+    return queue.get_nowait()
+
+
+async def shell_out(request):
+    subprocess.run(["repro-qmdd", "simulate"], check=True)  # lint-expect: RL014
+    check_output(["repro-qmdd", "report"])  # lint-expect: RL014
+    return request
+
+
+async def spawn_worker(command):
+    os.system(command)  # lint-expect: RL014
+    return Popen(command)  # lint-expect: RL014
+
+
+async def clean_handler(loop, pool, client, serve_request):
+    # The blessed shapes: async sleep, blocking work in the executor.
+    await asyncio.sleep(0.05)
+
+    def blocking_probe():
+        # Nested *sync* def: runs on an executor thread, exempt.
+        time.sleep(0.01)
+        return client.execute(serve_request)
+
+    return await loop.run_in_executor(pool, blocking_probe)
+
+
+def sync_helper():
+    # Plain sync function: blocking is its job.
+    time.sleep(0.01)
+
+
+async def suppressed_handler():
+    time.sleep(0.0)  # repro-lint: allow[RL014]
